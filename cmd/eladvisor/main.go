@@ -1,0 +1,76 @@
+// Command eladvisor measures the three cloud deployment models at an
+// institution's scale, prints the comparison matrix, and recommends a
+// model for the chosen requirement profile — the paper's §IV comparison
+// as a tool.
+//
+// Usage:
+//
+//	eladvisor -profile mid-college [-students 3000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elearncloud/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eladvisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eladvisor", flag.ContinueOnError)
+	var (
+		profileName = fs.String("profile", "mid-college", "institution profile: rural-school|mid-college|national-platform")
+		students    = fs.Int("students", 0, "override the profile's student population")
+		seed        = fs.Uint64("seed", 1, "simulation seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var profile core.Profile
+	switch *profileName {
+	case "rural-school":
+		profile = core.RuralSchool
+	case "mid-college":
+		profile = core.MidCollege
+	case "national-platform":
+		profile = core.NationalPlatform
+	default:
+		return fmt.Errorf("unknown profile %q", *profileName)
+	}
+	if *students > 0 {
+		profile.Students = *students
+	}
+
+	fmt.Printf("measuring deployment models for %s (%d students, seed %d)...\n\n",
+		profile.Name, profile.Students, *seed)
+	in, err := core.MeasureForProfile(profile, *seed)
+	if err != nil {
+		return err
+	}
+	sc, err := core.BuildScorecard(in)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sc.Table().String())
+
+	recs, err := sc.Recommend(profile)
+	if err != nil {
+		return err
+	}
+	fmt.Println("recommendation:", core.Explain(profile, recs))
+	fmt.Println("\nweights:")
+	for _, r := range core.Requirements() {
+		if w, ok := profile.Weights[r]; ok {
+			fmt.Printf("  %-14s %.2f\n", r, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunUnknownProfile(t *testing.T) {
+	if err := run([]string{"-profile", "hogwarts"}); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSmallProfile(t *testing.T) {
+	// Override to a tiny population so the measurement pass stays fast.
+	if err := run([]string{"-profile", "rural-school", "-students", "150", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

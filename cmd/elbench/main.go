@@ -1,0 +1,59 @@
+// Command elbench regenerates every table and figure of the reproduction
+// (DESIGN.md experiment index) and prints them to stdout.
+//
+// Usage:
+//
+//	elbench [-seed N] [-id table3] [-csv]
+//
+// With -id, only the named experiment runs; with -csv the table is
+// emitted as CSV instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elearncloud/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	id := fs.String("id", "", "run only this experiment id (e.g. table3, figure5)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var list []experiments.Experiment
+	if *id != "" {
+		e, err := experiments.Find(*id)
+		if err != nil {
+			return err
+		}
+		list = []experiments.Experiment{e}
+	} else {
+		list = experiments.All()
+	}
+
+	for _, e := range list {
+		tbl, err := e.Run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Println(tbl.String())
+		}
+	}
+	return nil
+}

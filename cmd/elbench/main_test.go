@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-id", "table99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	// figure7 is analytic and fast.
+	if err := run([]string{"-id", "figure7", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentCSV(t *testing.T) {
+	if err := run([]string{"-id", "table7", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: simulate one morning of a 500-student college LMS on the
+// public cloud and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/scenario"
+)
+
+func main() {
+	res, err := scenario.Run(scenario.Config{
+		Seed:     42,
+		Kind:     deploy.Public,
+		Students: 500,
+		Duration: 4 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("elearncloud quickstart — 500 students, public cloud, 4h")
+	fmt.Printf("  requests served:   %d (error rate %s)\n",
+		res.Served, metrics.FmtPercent(res.ErrorRate()))
+	fmt.Printf("  latency:           p50=%s p95=%s p99=%s\n",
+		metrics.FmtMillis(res.Latency.P50()),
+		metrics.FmtMillis(res.Latency.P95()),
+		metrics.FmtMillis(res.Latency.P99()))
+	fmt.Printf("  fleet:             peak %d servers, %.1f VM-hours\n",
+		res.PeakServers, res.VMHoursPublic)
+	fmt.Printf("  egress:            %.2f GB\n", res.EgressGB)
+	fmt.Printf("  bill for the run:  %s\n", metrics.FmtDollars(res.Cost.Total()))
+}

@@ -1,0 +1,73 @@
+package cloud
+
+import "fmt"
+
+// Host is one physical machine in a datacenter.
+type Host struct {
+	// ID is unique within a Datacenter.
+	ID int
+	// Capacity is the host's total resources.
+	Capacity Resources
+
+	allocated Resources
+	vms       map[int]*VM
+	failed    bool
+}
+
+// NewHost returns an empty host with the given capacity.
+func NewHost(id int, capacity Resources) *Host {
+	if !capacity.Valid() || capacity.IsZero() {
+		panic(fmt.Sprintf("cloud: NewHost with invalid capacity %v", capacity))
+	}
+	return &Host{ID: id, Capacity: capacity, vms: make(map[int]*VM)}
+}
+
+// Allocated returns the resources currently reserved by placed VMs.
+func (h *Host) Allocated() Resources { return h.allocated }
+
+// Free returns remaining capacity.
+func (h *Host) Free() Resources { return h.Capacity.Sub(h.allocated) }
+
+// Utilization returns the bottleneck utilization fraction in [0, 1].
+func (h *Host) Utilization() float64 { return h.allocated.Dominant(h.Capacity) }
+
+// NumVMs returns the count of VMs placed on this host.
+func (h *Host) NumVMs() int { return len(h.vms) }
+
+// Failed reports whether the host is marked failed (e.g. physical damage).
+func (h *Host) Failed() bool { return h.failed }
+
+// CanFit reports whether a demand fits in the remaining capacity of a
+// healthy host.
+func (h *Host) CanFit(demand Resources) bool {
+	return !h.failed && demand.Fits(h.Free())
+}
+
+// place reserves resources for vm. Caller must have checked CanFit.
+func (h *Host) place(vm *VM) {
+	h.allocated = h.allocated.Add(vm.Spec.Res)
+	h.vms[vm.ID] = vm
+	vm.host = h
+}
+
+// release frees the resources held by vm.
+func (h *Host) release(vm *VM) {
+	if _, ok := h.vms[vm.ID]; !ok {
+		return
+	}
+	delete(h.vms, vm.ID)
+	h.allocated = h.allocated.Sub(vm.Spec.Res)
+	if !h.allocated.Valid() {
+		panic(fmt.Sprintf("cloud: host %d allocation went negative: %v", h.ID, h.allocated))
+	}
+	vm.host = nil
+}
+
+// VMs returns the VMs currently placed on the host, in unspecified order.
+func (h *Host) VMs() []*VM {
+	out := make([]*VM, 0, len(h.vms))
+	for _, vm := range h.vms {
+		out = append(out, vm)
+	}
+	return out
+}

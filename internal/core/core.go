@@ -1,0 +1,52 @@
+// Package core is the paper's contribution made executable: the
+// exhaustive comparison of cloud deployment models against e-learning
+// requirements (Leloğlu, Ayav & Aslan 2013, §IV-§V). It measures each
+// model with the simulation substrates, normalizes the measurements into
+// a requirement scorecard, and recommends a model for an institution
+// profile — the "customers can choose one of cloud deployment models,
+// depending on their requirements" sentence, turned into a function.
+package core
+
+import (
+	"fmt"
+)
+
+// Requirement is one axis of the paper's comparison.
+type Requirement int
+
+// The six e-learning requirements the scorecard covers. The paper's
+// abstract names scalability, portability and security explicitly; cost,
+// performance and manageability carry the rest of its argument.
+const (
+	Cost Requirement = iota + 1
+	Performance
+	Scalability
+	Security
+	Portability
+	Manageability
+)
+
+// String returns the requirement name.
+func (r Requirement) String() string {
+	switch r {
+	case Cost:
+		return "cost"
+	case Performance:
+		return "performance"
+	case Scalability:
+		return "scalability"
+	case Security:
+		return "security"
+	case Portability:
+		return "portability"
+	case Manageability:
+		return "manageability"
+	default:
+		return fmt.Sprintf("Requirement(%d)", int(r))
+	}
+}
+
+// Requirements lists all axes in display order.
+func Requirements() []Requirement {
+	return []Requirement{Cost, Performance, Scalability, Security, Portability, Manageability}
+}

@@ -1,0 +1,301 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"elearncloud/internal/cloud"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/sim"
+)
+
+func TestKindStringsAndList(t *testing.T) {
+	want := map[Kind]string{
+		Public: "public", Private: "private", Hybrid: "hybrid", Desktop: "desktop",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+	ks := Kinds()
+	if len(ks) != 3 || ks[0] != Public || ks[2] != Hybrid {
+		t.Errorf("Kinds() = %v", ks)
+	}
+}
+
+func TestLockinOrdering(t *testing.T) {
+	if !(Public.DefaultLockinIndex() > Hybrid.DefaultLockinIndex() &&
+		Hybrid.DefaultLockinIndex() > Private.DefaultLockinIndex()) {
+		t.Fatal("lock-in must order public > hybrid > private (paper §IV)")
+	}
+	if Desktop.DefaultLockinIndex() != 0 {
+		t.Fatal("desktop baseline has no cloud lock-in")
+	}
+}
+
+func TestDefaultProviderCatalog(t *testing.T) {
+	c := DefaultProvider()
+	if len(c.Types) < 3 {
+		t.Fatalf("too few instance types: %d", len(c.Types))
+	}
+	for _, it := range c.Types {
+		if it.OnDemandHourly <= 0 || it.ReservedHourly <= 0 {
+			t.Errorf("%s: non-positive price", it.Name)
+		}
+		if it.ReservedHourly >= it.OnDemandHourly {
+			t.Errorf("%s: reserved (%v) must undercut on-demand (%v)",
+				it.Name, it.ReservedHourly, it.OnDemandHourly)
+		}
+		if it.Res.IsZero() || !it.Res.Valid() {
+			t.Errorf("%s: bad resources %v", it.Name, it.Res)
+		}
+		spec := it.Spec()
+		if spec.BootDelay == nil {
+			t.Errorf("%s: nil boot delay", it.Name)
+		}
+	}
+	if c.EgressPerGB <= 0 || c.StoragePerGBMonth <= 0 {
+		t.Fatal("non-positive transfer/storage prices")
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := DefaultProvider()
+	it, err := c.Type("m.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Res.CPU != 4 {
+		t.Fatalf("m.large CPU = %v", it.Res.CPU)
+	}
+	if _, err := c.Type("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("bad-type error = %v", err)
+	}
+}
+
+func TestCatalogCheapest(t *testing.T) {
+	c := DefaultProvider()
+	it, err := c.Cheapest(cloud.Resources{CPU: 2, Mem: 3, Disk: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Name != "m.medium" {
+		t.Fatalf("Cheapest = %s, want m.medium", it.Name)
+	}
+	if _, err := c.Cheapest(cloud.Resources{CPU: 999}); err == nil {
+		t.Fatal("impossible demand satisfied")
+	}
+}
+
+func TestServersForPeak(t *testing.T) {
+	tests := []struct {
+		rps, svc, util float64
+		want           int
+	}{
+		{100, 0.03, 0.6, 5}, // 3 busy -> 5 at 60%
+		{0, 0.03, 0.6, 1},   // degenerate
+		{100, 0.03, 0, 5},   // default util
+		{1, 0.001, 0.6, 1},  // tiny load -> floor 1
+		{1000, 0.03, 0.5, 60},
+	}
+	for _, tt := range tests {
+		if got := ServersForPeak(tt.rps, tt.svc, tt.util); got != tt.want {
+			t.Errorf("ServersForPeak(%v,%v,%v) = %d, want %d",
+				tt.rps, tt.svc, tt.util, got, tt.want)
+		}
+	}
+}
+
+func TestVMsPerHost(t *testing.T) {
+	host := cloud.Resources{CPU: 16, Mem: 64, Disk: 8000}
+	tests := []struct {
+		vm   cloud.Resources
+		want int
+	}{
+		{cloud.Resources{CPU: 4, Mem: 7.5, Disk: 850}, 4},   // CPU-bound
+		{cloud.Resources{CPU: 1, Mem: 32, Disk: 10}, 2},     // memory-bound
+		{cloud.Resources{CPU: 1, Mem: 1, Disk: 4000}, 2},    // disk-bound
+		{cloud.Resources{CPU: 32, Mem: 1, Disk: 1}, 1},      // bigger than host
+		{cloud.Resources{CPU: 0, Mem: 0, Disk: 0}, 1 << 20}, // degenerate
+	}
+	for _, tt := range tests {
+		if got := VMsPerHost(host, tt.vm); got != tt.want {
+			t.Errorf("VMsPerHost(%v) = %d, want %d", tt.vm, got, tt.want)
+		}
+	}
+}
+
+// Sizing regression: the private fleet deploy.Build plans must actually
+// fit on the hosts it allocates — for every dimension, not just CPU.
+func TestPrivateFleetCapacityMatchesPlan(t *testing.T) {
+	eng := sim.NewEngine(1)
+	spec := baseSpec(Private)
+	spec.ExpectedPeakRPS = 300 // 300*0.03/0.6 = 15 servers
+	d, err := Build(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.ServersAtPeak; i++ {
+		if _, err := d.PrivateDC.Provision(d.PrivateSpec, nil); err != nil {
+			t.Fatalf("server %d/%d did not fit the planned hosts: %v",
+				i+1, d.ServersAtPeak, err)
+		}
+	}
+}
+
+func baseSpec(kind Kind) Spec {
+	return Spec{
+		Kind:            kind,
+		Students:        500,
+		Courses:         20,
+		ExpectedPeakRPS: 50,
+		MeanServiceSec:  0.03,
+	}
+}
+
+func TestBuildPublic(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := Build(eng, baseSpec(Public))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PublicDC == nil || d.PrivateDC != nil {
+		t.Fatal("public deployment shape wrong")
+	}
+	if d.Assets.Count(lms.OnPrivate) != 0 {
+		t.Fatal("public deployment left assets in-house")
+	}
+	if d.ServersAtPeak != 3 { // 50*0.03/0.6 = 2.5 -> 3
+		t.Fatalf("ServersAtPeak = %d, want 3", d.ServersAtPeak)
+	}
+	if len(d.Datacenters()) != 1 {
+		t.Fatal("Datacenters() wrong")
+	}
+	d.Shutdown()
+}
+
+func TestBuildPrivate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := Build(eng, baseSpec(Private))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PrivateDC == nil || d.PublicDC != nil {
+		t.Fatal("private deployment shape wrong")
+	}
+	if d.Assets.Count(lms.OnPublic) != 0 {
+		t.Fatal("private deployment put assets on public cloud")
+	}
+	if d.PrivateHosts < 1 {
+		t.Fatal("no private hosts sized")
+	}
+	// Fixed capacity: the DC must not be elastic.
+	vmSpec := d.PrivateSpec
+	var provisioned int
+	for {
+		if _, err := d.PrivateDC.Provision(vmSpec, nil); err != nil {
+			break
+		}
+		provisioned++
+		if provisioned > 1000 {
+			t.Fatal("private datacenter appears elastic")
+		}
+	}
+	if provisioned == 0 {
+		t.Fatal("could not provision anything on private DC")
+	}
+}
+
+func TestBuildHybrid(t *testing.T) {
+	eng := sim.NewEngine(1)
+	spec := baseSpec(Hybrid)
+	spec.Policy = DefaultHybridPolicy()
+	d, err := Build(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PublicDC == nil || d.PrivateDC == nil {
+		t.Fatal("hybrid needs both sides")
+	}
+	// Sensitive assets pinned in-house, bulk content public.
+	if d.Assets.SensitiveCount(lms.OnPublic) != 0 {
+		t.Fatal("hybrid leaked sensitive assets to public")
+	}
+	if d.Assets.Count(lms.OnPublic) == 0 {
+		t.Fatal("hybrid placed nothing on public side")
+	}
+	if len(d.Datacenters()) != 2 {
+		t.Fatal("Datacenters() wrong")
+	}
+}
+
+func TestBuildHybridWithoutPinning(t *testing.T) {
+	eng := sim.NewEngine(1)
+	spec := baseSpec(Hybrid)
+	spec.Policy = HybridPolicy{SensitivePrivate: false, PrivateBaseShare: 0.3}
+	d, err := Build(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Assets.SensitiveCount(lms.OnPublic) == 0 {
+		t.Fatal("unpinned hybrid should place sensitive assets publicly")
+	}
+}
+
+func TestBuildDesktop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	d, err := Build(eng, baseSpec(Desktop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PublicDC != nil || d.PrivateDC != nil {
+		t.Fatal("desktop baseline must have no datacenters")
+	}
+	if len(d.Datacenters()) != 0 {
+		t.Fatal("Datacenters() wrong")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cases := map[string]Spec{
+		"zero students": {Kind: Public, Students: 0},
+		"neg courses":   {Kind: Public, Students: 10, Courses: -1},
+		"bad policy":    {Kind: Hybrid, Students: 10, Policy: HybridPolicy{PrivateBaseShare: 2}},
+		"bad kind":      {Kind: Kind(42), Students: 10},
+		"bad itype":     {Kind: Public, Students: 10, InstanceTypeName: "nope"},
+	}
+	for name, spec := range cases {
+		if _, err := Build(eng, spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := Build(nil, baseSpec(Public)); err == nil {
+		t.Error("nil engine accepted")
+	}
+}
+
+func TestHybridPrivateSizedToShare(t *testing.T) {
+	eng := sim.NewEngine(1)
+	full := baseSpec(Private)
+	full.ExpectedPeakRPS = 400 // 400*0.03/0.6 = 20 servers
+	dFull, err := Build(eng, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := baseSpec(Hybrid)
+	half.ExpectedPeakRPS = 400
+	half.Policy = HybridPolicy{SensitivePrivate: true, PrivateBaseShare: 0.5}
+	dHalf, err := Build(sim.NewEngine(1), half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dHalf.PrivateHosts >= dFull.PrivateHosts {
+		t.Fatalf("hybrid private side (%d hosts) should be smaller than full private (%d)",
+			dHalf.PrivateHosts, dFull.PrivateHosts)
+	}
+}

@@ -1,0 +1,59 @@
+// Package deploy describes the three cloud deployment models the paper
+// compares — public, private and hybrid — plus the on-premise desktop
+// baseline its Section III merits are measured against. It provides a
+// 2013-era public-provider price catalog, capacity sizing helpers, the
+// hybrid "distribution of units" policy, and a builder that turns a
+// declarative Spec into running datacenters on a simulation engine.
+package deploy
+
+import "fmt"
+
+// Kind is a deployment model.
+type Kind int
+
+// Deployment models. Desktop is the pre-cloud baseline: locally installed
+// software on lab PCs, no datacenter at all.
+const (
+	Public Kind = iota + 1
+	Private
+	Hybrid
+	Desktop
+)
+
+// String returns the model name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Public:
+		return "public"
+	case Private:
+		return "private"
+	case Hybrid:
+		return "hybrid"
+	case Desktop:
+		return "desktop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the three cloud models in the paper's order.
+func Kinds() []Kind { return []Kind{Public, Private, Hybrid} }
+
+// DefaultLockinIndex returns the model's typical proprietary-interface
+// adoption in [0,1] — how much of the system is built against provider-
+// specific APIs. It parameterizes the migration-cost model; Section IV.A
+// of the paper argues public-cloud systems accrete the most lock-in,
+// hybrids are built portable by necessity, and private clouds use
+// standard stacks.
+func (k Kind) DefaultLockinIndex() float64 {
+	switch k {
+	case Public:
+		return 0.7
+	case Hybrid:
+		return 0.3
+	case Private:
+		return 0.1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,269 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"elearncloud/internal/cloud"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/sim"
+)
+
+// HybridPolicy is the paper's §IV.C "distribution of units between these
+// models": which side holds sensitive assets and how much steady capacity
+// stays in-house.
+type HybridPolicy struct {
+	// SensitivePrivate pins exam questions and grades to the private
+	// side. This is the policy the paper's security argument assumes.
+	SensitivePrivate bool
+	// PrivateBaseShare is the fraction of steady-state capacity served
+	// from the private side; the remainder — and all burst — goes public.
+	PrivateBaseShare float64
+}
+
+// DefaultHybridPolicy pins sensitive data private and serves half the
+// steady load in-house.
+func DefaultHybridPolicy() HybridPolicy {
+	return HybridPolicy{SensitivePrivate: true, PrivateBaseShare: 0.5}
+}
+
+// Validate checks policy ranges.
+func (p HybridPolicy) Validate() error {
+	if p.PrivateBaseShare < 0 || p.PrivateBaseShare > 1 {
+		return fmt.Errorf("deploy: PrivateBaseShare %v outside [0,1]", p.PrivateBaseShare)
+	}
+	return nil
+}
+
+// Spec declaratively describes a deployment to build.
+type Spec struct {
+	// Kind is the deployment model.
+	Kind Kind
+	// Students and Courses size the institution (and its asset store).
+	Students int
+	Courses  int
+	// ExpectedPeakRPS is the sizing target: the peak aggregate request
+	// rate the deployment must absorb.
+	ExpectedPeakRPS float64
+	// MeanServiceSec is the mean request CPU demand, used with
+	// ExpectedPeakRPS to size server counts.
+	MeanServiceSec float64
+	// TargetUtil is the sizing headroom (default 0.6: size so peak load
+	// uses 60% of capacity).
+	TargetUtil float64
+	// Provider is the public catalog (default DefaultProvider) and
+	// InstanceTypeName the flavor to rent (default "m.large").
+	Provider         *ProviderCatalog
+	InstanceTypeName string
+	// Policy applies to Hybrid deployments.
+	Policy HybridPolicy
+	// PrivateHostCapacity sizes on-premise hosts (default 16 cores /
+	// 64 GB / 2 TB).
+	PrivateHostCapacity cloud.Resources
+}
+
+// Deployment is a built deployment: datacenters on an engine plus the
+// asset placement the model implies.
+type Deployment struct {
+	// Kind is the model this deployment realizes.
+	Kind Kind
+	// PublicDC is the rented, elastic, multi-tenant side (nil for
+	// private-only and desktop).
+	PublicDC *cloud.Datacenter
+	// PrivateDC is the owned, fixed-capacity side (nil for public-only
+	// and desktop).
+	PrivateDC *cloud.Datacenter
+	// Assets is the institution's inventory, placed per the model.
+	Assets *lms.AssetStore
+	// InstanceType is the public flavor rented.
+	InstanceType InstanceType
+	// PrivateSpec is the VM flavor carved out of private hosts.
+	PrivateSpec cloud.InstanceSpec
+	// Policy echoes the hybrid policy in force.
+	Policy HybridPolicy
+	// Provider echoes the catalog used.
+	Provider *ProviderCatalog
+	// ServersAtPeak is the sizing result: app servers needed at peak.
+	ServersAtPeak int
+	// PrivateHosts is the number of owned hosts (0 unless private side
+	// exists).
+	PrivateHosts int
+}
+
+// VMsPerHost returns how many VMs of the given flavor fit on one host,
+// limited by the scarcest resource dimension. It never returns less
+// than 1 (a flavor larger than the host still gets a dedicated host).
+func VMsPerHost(host, vm cloud.Resources) int {
+	fit := func(capacity, demand float64) int {
+		if demand <= 0 {
+			return 1 << 20
+		}
+		return int(capacity / demand)
+	}
+	per := fit(host.CPU, vm.CPU)
+	if v := fit(host.Mem, vm.Mem); v < per {
+		per = v
+	}
+	if v := fit(host.Disk, vm.Disk); v < per {
+		per = v
+	}
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// ServersForPeak returns the number of single-VM app servers needed to
+// absorb peakRPS of meanServiceSec work at targetUtil utilization. Each
+// app server is modeled as one processor-sharing unit.
+func ServersForPeak(peakRPS, meanServiceSec, targetUtil float64) int {
+	if peakRPS <= 0 || meanServiceSec <= 0 {
+		return 1
+	}
+	if targetUtil <= 0 || targetUtil > 1 {
+		targetUtil = 0.6
+	}
+	n := int(math.Ceil(peakRPS * meanServiceSec / targetUtil))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Build realizes a Spec on the engine. It creates datacenters but does
+// not provision VMs — the autoscaler (or fixed-fleet bootstrap) in the
+// scenario package does that, because VM counts are a runtime concern.
+func Build(eng *sim.Engine, spec Spec) (*Deployment, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("deploy: Build with nil engine")
+	}
+	if spec.Students <= 0 {
+		return nil, fmt.Errorf("deploy: Students = %d, need > 0", spec.Students)
+	}
+	if spec.Courses < 0 {
+		return nil, fmt.Errorf("deploy: Courses = %d, need >= 0", spec.Courses)
+	}
+	if err := spec.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Provider == nil {
+		spec.Provider = DefaultProvider()
+	}
+	if spec.InstanceTypeName == "" {
+		spec.InstanceTypeName = "m.large"
+	}
+	if spec.TargetUtil == 0 {
+		spec.TargetUtil = 0.6
+	}
+	if spec.PrivateHostCapacity.IsZero() {
+		// Campus hosts hang off a storage array: disk is never the
+		// packing bottleneck, CPU is.
+		spec.PrivateHostCapacity = cloud.Resources{CPU: 16, Mem: 64, Disk: 8000}
+	}
+	itype, err := spec.Provider.Type(spec.InstanceTypeName)
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Deployment{
+		Kind:         spec.Kind,
+		Assets:       lms.NewAssetStore(spec.Courses, spec.Students),
+		InstanceType: itype,
+		Provider:     spec.Provider,
+		Policy:       spec.Policy,
+		// The private side carves VMs of the same shape as the rented
+		// flavor so comparisons are apples-to-apples; on-premise VMs
+		// boot faster (no remote API, image is local).
+		PrivateSpec: cloud.InstanceSpec{
+			Name:      "pvt." + itype.Name,
+			Res:       itype.Res,
+			BootDelay: sim.LogNormal(40, 0.3),
+		},
+		ServersAtPeak: ServersForPeak(spec.ExpectedPeakRPS, spec.MeanServiceSec, spec.TargetUtil),
+	}
+
+	newPublic := func() *cloud.Datacenter {
+		return cloud.NewDatacenter(eng, cloud.Config{
+			Name:         "public",
+			Hosts:        4, // grows elastically
+			HostCapacity: cloud.Resources{CPU: 32, Mem: 128, Disk: 4000},
+			Placer:       cloud.Spread{},
+			MultiTenant:  true,
+			Elastic:      true,
+		})
+	}
+	hostsFor := func(servers int) int {
+		// Pack by the bottleneck dimension, not just CPU: a flavor with
+		// outsized disk or memory demands must not oversubscribe hosts,
+		// or the "peak-sized" fleet silently comes up short.
+		perHost := VMsPerHost(spec.PrivateHostCapacity, itype.Res)
+		h := (servers + perHost - 1) / perHost
+		if h < 1 {
+			h = 1
+		}
+		return h
+	}
+	newPrivate := func(servers int) *cloud.Datacenter {
+		d.PrivateHosts = hostsFor(servers)
+		return cloud.NewDatacenter(eng, cloud.Config{
+			Name:         "private",
+			Hosts:        d.PrivateHosts,
+			HostCapacity: spec.PrivateHostCapacity,
+			Placer:       cloud.BestFit{},
+			MultiTenant:  false,
+			Elastic:      false,
+		})
+	}
+
+	switch spec.Kind {
+	case Public:
+		d.PublicDC = newPublic()
+		d.Assets.PlaceAll(lms.OnPublic)
+	case Private:
+		d.PrivateDC = newPrivate(d.ServersAtPeak)
+		d.Assets.PlaceAll(lms.OnPrivate)
+	case Hybrid:
+		d.PublicDC = newPublic()
+		// The private side is sized for its steady share only; bursts
+		// ride the public cloud.
+		privServers := int(math.Ceil(float64(d.ServersAtPeak) * spec.Policy.PrivateBaseShare))
+		if privServers < 1 {
+			privServers = 1
+		}
+		d.PrivateDC = newPrivate(privServers)
+		if spec.Policy.SensitivePrivate {
+			d.Assets.PlaceSensitive(lms.OnPrivate, lms.OnPublic)
+		} else {
+			d.Assets.PlaceAll(lms.OnPublic)
+		}
+	case Desktop:
+		// No datacenters: locally installed software. Assets live on
+		// campus machines (private).
+		d.Assets.PlaceAll(lms.OnPrivate)
+	default:
+		return nil, fmt.Errorf("deploy: unknown kind %v", spec.Kind)
+	}
+	return d, nil
+}
+
+// Shutdown tears down both datacenters.
+func (d *Deployment) Shutdown() {
+	if d.PublicDC != nil {
+		d.PublicDC.Shutdown()
+	}
+	if d.PrivateDC != nil {
+		d.PrivateDC.Shutdown()
+	}
+}
+
+// Datacenters returns the non-nil datacenters, public first.
+func (d *Deployment) Datacenters() []*cloud.Datacenter {
+	var out []*cloud.Datacenter
+	if d.PublicDC != nil {
+		out = append(out, d.PublicDC)
+	}
+	if d.PrivateDC != nil {
+		out = append(out, d.PrivateDC)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elearncloud/internal/metrics"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("table1",
+	// "figure3", ...).
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Run regenerates the artifact.
+	Run func(seed uint64) (*metrics.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Merits of cloud e-learning vs desktop (§III)", Table1Merits},
+		{"table2", "Risks by deployment model (§III)", Table2Risks},
+		{"table3", "Deployment comparison matrix (§IV-§V)", Table3Matrix},
+		{"table4", "Hybrid unit-distribution ablation (§IV.C)", Table4HybridAblation},
+		{"table5", "Autoscaler ablation (exam crowd)", Table5Autoscalers},
+		{"table6", "Advisor recommendations per profile (§II)", Table6Advisor},
+		{"figure1", "Workload shape: diurnal and semester", Figure1Workload},
+		{"figure2", "P95 latency through an exam crowd", Figure2ExamSpike},
+		{"figure3", "TCO per student vs institution size", Figure3CostCrossover},
+		{"figure4", "Private utilization vs elastic fleet", Figure4Utilization},
+		{"figure5", "Lost work vs last-mile reliability", Figure5NetworkRisk},
+		{"figure6", "Security incidents over 10 years", Figure6Security},
+		{"figure7", "Migration cost vs lock-in index", Figure7Lockin},
+		// Extension experiments (DESIGN.md "future work the paper
+		// gestures at").
+		{"table7", "National shared private cloud (§IV.C/§V)", Table7Federation},
+		{"table8", "Reserved vs on-demand purchase mix", Table8PurchaseMix},
+		{"figure8", "CDN ablation on the cost crossover", Figure8CDN},
+		{"figure9", "Physical damage to the on-premise unit", Figure9HostFailure},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,260 @@
+// Package federate models a national shared private cloud: several
+// institutions pooling one government-operated datacenter instead of
+// each running its own. The paper's §IV.C notes the hybrid model
+// "provides an environment to build a national private cloud system",
+// and §V predicts "governments will eventually start installing and
+// using such systems in schools and colleges".
+//
+// The economics come from two effects this package quantifies:
+//
+//  1. Statistical multiplexing — exam peaks do not coincide, so the
+//     peak of the summed load is far below the sum of individual peaks.
+//     Members stagger exam calendars; the federation sizes hardware for
+//     the blended peak.
+//  2. Operational pooling — one professional operations team amortizes
+//     across every member, replacing N × minimum-admin floors.
+package federate
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"elearncloud/internal/cloud"
+	"elearncloud/internal/cost"
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/workload"
+)
+
+// Member is one participating institution.
+type Member struct {
+	// Name labels the institution.
+	Name string
+	// Students is its population.
+	Students int
+	// CalendarShiftWeeks staggers the member's semester relative to the
+	// federation baseline (different regions schedule exams in
+	// different weeks).
+	CalendarShiftWeeks int
+}
+
+// Validate rejects unusable members.
+func (m Member) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("federate: member without a name")
+	}
+	if m.Students <= 0 {
+		return fmt.Errorf("federate: member %q has %d students", m.Name, m.Students)
+	}
+	if m.CalendarShiftWeeks < 0 {
+		return fmt.Errorf("federate: member %q has negative calendar shift", m.Name)
+	}
+	return nil
+}
+
+// Config parameterizes a federation study.
+type Config struct {
+	// Members are the participating institutions.
+	Members []Member
+	// ReqPerStudentHour is the shared workload intensity (default 50).
+	ReqPerStudentHour float64
+	// TargetUtil is the sizing headroom (default 0.6).
+	TargetUtil float64
+}
+
+// MemberOutcome compares one member's standalone cost to its federated
+// share.
+type MemberOutcome struct {
+	Member Member
+	// StandaloneHosts and StandaloneMonthly price a go-it-alone private
+	// cloud sized for the member's own peak.
+	StandaloneHosts   int
+	StandaloneMonthly float64
+	// FederatedMonthly is the member's usage-proportional share of the
+	// shared datacenter.
+	FederatedMonthly float64
+}
+
+// Saving returns the member's monthly saving from federating.
+func (o MemberOutcome) Saving() float64 { return o.StandaloneMonthly - o.FederatedMonthly }
+
+// Result is a federation study's output.
+type Result struct {
+	// Outcomes has one entry per member, in input order.
+	Outcomes []MemberOutcome
+	// SharedHosts is the federation datacenter size; SumStandaloneHosts
+	// is what the members would deploy separately.
+	SharedHosts        int
+	SumStandaloneHosts int
+	// SharedPeakServers and SumMemberPeaks expose the multiplexing gain.
+	SharedPeakServers int
+	SumMemberPeaks    int
+	// SharedMonthly is the total federation bill per month.
+	SharedMonthly float64
+}
+
+// MultiplexingGain returns sum-of-peaks over blended peak (≥ 1; higher
+// means staggering helped more).
+func (r *Result) MultiplexingGain() float64 {
+	if r.SharedPeakServers == 0 {
+		return 1
+	}
+	return float64(r.SumMemberPeaks) / float64(r.SharedPeakServers)
+}
+
+// Study sizes and prices the federation against standalone deployments.
+// Deterministic and analytic (fluid fidelity).
+func Study(cfg Config) (*Result, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("federate: no members")
+	}
+	for _, m := range cfg.Members {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ReqPerStudentHour <= 0 {
+		cfg.ReqPerStudentHour = 50
+	}
+	if cfg.TargetUtil <= 0 || cfg.TargetUtil > 1 {
+		cfg.TargetUtil = 0.6
+	}
+
+	cat := lms.DefaultCatalog()
+	meanSvc := lms.TeachingMix().MeanService(cat)
+	sem := workload.StandardSemester()
+	week := 7 * 24 * time.Hour
+	horizon := sem.Duration() + week*maxShift(cfg.Members)
+
+	// Per-member generators with shifted calendars.
+	gens := make([]*workload.Generator, len(cfg.Members))
+	for i, m := range cfg.Members {
+		gen, err := workload.NewGenerator(workload.Config{
+			Students:          m.Students,
+			ReqPerStudentHour: cfg.ReqPerStudentHour,
+			Calendar:          shiftedCalendar(sem, m.CalendarShiftWeeks),
+		})
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = gen
+	}
+
+	// Blend the load curves to find peaks and per-member usage.
+	step := 30 * time.Minute
+	memberWork := make([]float64, len(cfg.Members)) // integrated server-hours
+	var sharedPeakRPS float64
+	memberPeakRPS := make([]float64, len(cfg.Members))
+	for t := time.Duration(0); t < horizon; t += step {
+		var total float64
+		for i, gen := range gens {
+			r := gen.Rate(t)
+			total += r
+			if r > memberPeakRPS[i] {
+				memberPeakRPS[i] = r
+			}
+			memberWork[i] += r * meanSvc / cfg.TargetUtil * step.Hours()
+		}
+		if total > sharedPeakRPS {
+			sharedPeakRPS = total
+		}
+	}
+
+	res := &Result{}
+	// Same host and flavor shapes deploy.Build uses for private sizing.
+	hostCap := deploy.VMsPerHost(
+		cloud.Resources{CPU: 16, Mem: 64, Disk: 8000},
+		cloud.Resources{CPU: 4, Mem: 7.5, Disk: 850})
+	rates := cost.DefaultRates()
+	months := horizon.Hours() / 730
+
+	res.SharedPeakServers = deploy.ServersForPeak(sharedPeakRPS, meanSvc, cfg.TargetUtil)
+	res.SharedHosts = hostsFor(res.SharedPeakServers, hostCap)
+	sharedBill, err := cost.Bill(cost.Usage{Months: months, PrivateHosts: res.SharedHosts}, rates)
+	if err != nil {
+		return nil, err
+	}
+	res.SharedMonthly = sharedBill.Total() / months
+
+	var totalWork float64
+	for _, w := range memberWork {
+		totalWork += w
+	}
+	for i, m := range cfg.Members {
+		peak := deploy.ServersForPeak(memberPeakRPS[i], meanSvc, cfg.TargetUtil)
+		res.SumMemberPeaks += peak
+		hosts := hostsFor(peak, hostCap)
+		res.SumStandaloneHosts += hosts
+		standalone, err := cost.Bill(cost.Usage{Months: months, PrivateHosts: hosts}, rates)
+		if err != nil {
+			return nil, err
+		}
+		share := 0.0
+		if totalWork > 0 {
+			share = memberWork[i] / totalWork
+		}
+		res.Outcomes = append(res.Outcomes, MemberOutcome{
+			Member:            m,
+			StandaloneHosts:   hosts,
+			StandaloneMonthly: standalone.Total() / months,
+			FederatedMonthly:  res.SharedMonthly * share,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the study for reports.
+func (r *Result) Table(title string) *metrics.Table {
+	t := metrics.NewTable(title,
+		"member", "students", "standalone hosts", "standalone $/mo", "federated $/mo", "saving")
+	for _, o := range r.Outcomes {
+		t.AddRow(o.Member.Name, o.Member.Students,
+			o.StandaloneHosts,
+			metrics.FmtDollars(o.StandaloneMonthly),
+			metrics.FmtDollars(o.FederatedMonthly),
+			metrics.FmtDollars(o.Saving()))
+	}
+	t.AddNote("shared datacenter: %d hosts vs %d standalone; peak multiplexing gain %.2fx",
+		r.SharedHosts, r.SumStandaloneHosts, r.MultiplexingGain())
+	return t
+}
+
+func maxShift(members []Member) time.Duration {
+	max := 0
+	for _, m := range members {
+		if m.CalendarShiftWeeks > max {
+			max = m.CalendarShiftWeeks
+		}
+	}
+	return time.Duration(max)
+}
+
+// shiftedCalendar rotates the semester by n weeks (prepending vacation
+// weeks so member terms start at different times).
+func shiftedCalendar(base *workload.Calendar, shiftWeeks int) *workload.Calendar {
+	if shiftWeeks == 0 {
+		return base
+	}
+	weeks := make([]workload.Week, 0, base.Len()+shiftWeeks)
+	for i := 0; i < shiftWeeks; i++ {
+		weeks = append(weeks, workload.Week{Kind: workload.Vacation, Mult: 0.05})
+	}
+	week := 7 * 24 * time.Hour
+	for i := 0; i < base.Len(); i++ {
+		weeks = append(weeks, base.WeekAt(time.Duration(i)*week))
+	}
+	return workload.NewCalendar(weeks)
+}
+
+func hostsFor(servers int, perHost int) int {
+	if perHost < 1 {
+		perHost = 1
+	}
+	h := int(math.Ceil(float64(servers) / float64(perHost)))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}

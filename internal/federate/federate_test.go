@@ -1,0 +1,124 @@
+package federate
+
+import (
+	"strings"
+	"testing"
+)
+
+func threeColleges() Config {
+	return Config{Members: []Member{
+		{Name: "coastal", Students: 3000, CalendarShiftWeeks: 0},
+		{Name: "inland", Students: 2000, CalendarShiftWeeks: 2},
+		{Name: "mountain", Students: 1500, CalendarShiftWeeks: 4},
+	}}
+}
+
+func TestStudyBasics(t *testing.T) {
+	res, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	if res.SharedHosts <= 0 || res.SumStandaloneHosts <= 0 {
+		t.Fatal("host counts missing")
+	}
+	// Pooling never needs more hardware than going alone.
+	if res.SharedHosts > res.SumStandaloneHosts {
+		t.Fatalf("federation needs %d hosts, standalone only %d",
+			res.SharedHosts, res.SumStandaloneHosts)
+	}
+	// Staggered exams: blended peak strictly below sum of peaks.
+	if res.MultiplexingGain() <= 1 {
+		t.Fatalf("multiplexing gain = %v, want > 1 with staggered calendars",
+			res.MultiplexingGain())
+	}
+}
+
+func TestEveryMemberSaves(t *testing.T) {
+	res, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		if o.Saving() <= 0 {
+			t.Errorf("member %s loses money federating: standalone %v federated %v",
+				o.Member.Name, o.StandaloneMonthly, o.FederatedMonthly)
+		}
+	}
+	// Shares sum to the shared bill.
+	var shares float64
+	for _, o := range res.Outcomes {
+		shares += o.FederatedMonthly
+	}
+	if diff := shares - res.SharedMonthly; diff > 1 || diff < -1 {
+		t.Fatalf("shares %v do not sum to shared bill %v", shares, res.SharedMonthly)
+	}
+}
+
+func TestCoincidentCalendarsMultiplexLess(t *testing.T) {
+	staggered, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := threeColleges()
+	for i := range cfg.Members {
+		cfg.Members[i].CalendarShiftWeeks = 0 // everyone sits finals together
+	}
+	coincident, err := Study(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coincident.MultiplexingGain() >= staggered.MultiplexingGain() {
+		t.Fatalf("coincident gain %v >= staggered %v — staggering should matter",
+			coincident.MultiplexingGain(), staggered.MultiplexingGain())
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	if _, err := Study(Config{}); err == nil {
+		t.Fatal("empty federation accepted")
+	}
+	bad := []Config{
+		{Members: []Member{{Name: "", Students: 100}}},
+		{Members: []Member{{Name: "x", Students: 0}}},
+		{Members: []Member{{Name: "x", Students: 10, CalendarShiftWeeks: -1}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Study(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Table("Table 7: federation")
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	s := tbl.String()
+	for _, want := range []string{"coastal", "inland", "mountain", "multiplexing"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	a, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Study(threeColleges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SharedMonthly != b.SharedMonthly || a.SharedHosts != b.SharedHosts {
+		t.Fatal("study not deterministic")
+	}
+}

@@ -1,0 +1,187 @@
+package lms
+
+import "fmt"
+
+// AssetKind classifies the digital assets the paper names: "tests, exam
+// questions, results" plus the bulk course content around them.
+type AssetKind int
+
+// Asset kinds.
+const (
+	CourseContent AssetKind = iota + 1 // slides, video, readings
+	ExamQuestions                      // sensitive before the exam
+	Grades                             // sensitive always
+	Submissions                        // student work
+)
+
+// String returns the kind name.
+func (k AssetKind) String() string {
+	switch k {
+	case CourseContent:
+		return "course-content"
+	case ExamQuestions:
+		return "exam-questions"
+	case Grades:
+		return "grades"
+	case Submissions:
+		return "submissions"
+	default:
+		return fmt.Sprintf("AssetKind(%d)", int(k))
+	}
+}
+
+// Sensitive reports whether assets of this kind are confidential.
+func (k AssetKind) Sensitive() bool { return k == ExamQuestions || k == Grades }
+
+// Location says which side of a deployment holds an asset.
+type Location int
+
+// Asset locations.
+const (
+	OnPublic  Location = iota + 1 // public-cloud storage
+	OnPrivate                     // on-premise / private-cloud storage
+)
+
+// String returns the location name.
+func (l Location) String() string {
+	switch l {
+	case OnPublic:
+		return "public"
+	case OnPrivate:
+		return "private"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Asset is one stored object.
+type Asset struct {
+	ID    int
+	Kind  AssetKind
+	Bytes float64
+}
+
+// AssetStore is the institution's asset inventory with a placement map.
+// The hybrid deployment policy decides placements; the security model
+// scores sensitive exposure; the migration planner sums egress bytes.
+type AssetStore struct {
+	assets []Asset
+	loc    map[int]Location
+}
+
+// NewAssetStore builds an inventory representative of an institution with
+// the given number of courses and students: per course, bulk content and
+// an exam bundle; per student, a grade record and submissions.
+func NewAssetStore(courses, students int) *AssetStore {
+	if courses < 0 || students < 0 {
+		panic("lms: NewAssetStore with negative sizes")
+	}
+	st := &AssetStore{loc: make(map[int]Location)}
+	id := 0
+	add := func(kind AssetKind, bytes float64) {
+		st.assets = append(st.assets, Asset{ID: id, Kind: kind, Bytes: bytes})
+		st.loc[id] = OnPrivate // everything starts in-house
+		id++
+	}
+	for c := 0; c < courses; c++ {
+		add(CourseContent, 2e9)  // ~2 GB of video+slides per course
+		add(ExamQuestions, 20e6) // exam bundle
+	}
+	for s := 0; s < students; s++ {
+		add(Grades, 1e6)
+		add(Submissions, 50e6)
+	}
+	return st
+}
+
+// Len returns the number of assets.
+func (st *AssetStore) Len() int { return len(st.assets) }
+
+// Assets returns a copy of the inventory.
+func (st *AssetStore) Assets() []Asset {
+	return append([]Asset(nil), st.assets...)
+}
+
+// Place moves an asset to a location. Unknown IDs panic: placement bugs
+// must not silently drop assets.
+func (st *AssetStore) Place(id int, loc Location) {
+	if _, ok := st.loc[id]; !ok {
+		panic(fmt.Sprintf("lms: Place of unknown asset %d", id))
+	}
+	st.loc[id] = loc
+}
+
+// LocationOf returns an asset's current location.
+func (st *AssetStore) LocationOf(id int) Location { return st.loc[id] }
+
+// PlaceAll moves every asset to one location (public-only or private-only
+// deployments).
+func (st *AssetStore) PlaceAll(loc Location) {
+	for id := range st.loc {
+		st.loc[id] = loc
+	}
+}
+
+// PlaceSensitive pins all sensitive assets to pin and everything else to
+// rest — the hybrid "distribution of units" policy.
+func (st *AssetStore) PlaceSensitive(pin, rest Location) {
+	for _, a := range st.assets {
+		if a.Kind.Sensitive() {
+			st.loc[a.ID] = pin
+		} else {
+			st.loc[a.ID] = rest
+		}
+	}
+}
+
+// Count returns how many assets are at loc.
+func (st *AssetStore) Count(loc Location) int {
+	n := 0
+	for _, l := range st.loc {
+		if l == loc {
+			n++
+		}
+	}
+	return n
+}
+
+// SensitiveCount returns how many sensitive assets are at loc.
+func (st *AssetStore) SensitiveCount(loc Location) int {
+	n := 0
+	for _, a := range st.assets {
+		if a.Kind.Sensitive() && st.loc[a.ID] == loc {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesAt sums the stored bytes at loc.
+func (st *AssetStore) BytesAt(loc Location) float64 {
+	var sum float64
+	for _, a := range st.assets {
+		if st.loc[a.ID] == loc {
+			sum += a.Bytes
+		}
+	}
+	return sum
+}
+
+// SensitiveShare returns the fraction of sensitive assets located at loc
+// (0 when there are no sensitive assets).
+func (st *AssetStore) SensitiveShare(loc Location) float64 {
+	var total, at int
+	for _, a := range st.assets {
+		if !a.Kind.Sensitive() {
+			continue
+		}
+		total++
+		if st.loc[a.ID] == loc {
+			at++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(at) / float64(total)
+}

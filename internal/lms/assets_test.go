@@ -1,0 +1,134 @@
+package lms
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAssetKindSensitivity(t *testing.T) {
+	if !ExamQuestions.Sensitive() || !Grades.Sensitive() {
+		t.Fatal("exam questions and grades must be sensitive")
+	}
+	if CourseContent.Sensitive() || Submissions.Sensitive() {
+		t.Fatal("content and submissions must not be sensitive")
+	}
+}
+
+func TestAssetStoreInventory(t *testing.T) {
+	st := NewAssetStore(10, 100)
+	// 10 courses * 2 assets + 100 students * 2 assets.
+	if st.Len() != 220 {
+		t.Fatalf("Len = %d, want 220", st.Len())
+	}
+	// Everything starts private.
+	if st.Count(OnPrivate) != 220 || st.Count(OnPublic) != 0 {
+		t.Fatalf("initial placement wrong: private=%d public=%d",
+			st.Count(OnPrivate), st.Count(OnPublic))
+	}
+}
+
+func TestAssetStorePlacementPolicies(t *testing.T) {
+	st := NewAssetStore(5, 50)
+	st.PlaceAll(OnPublic)
+	if st.Count(OnPublic) != st.Len() {
+		t.Fatal("PlaceAll(OnPublic) incomplete")
+	}
+	if st.SensitiveShare(OnPublic) != 1 {
+		t.Fatalf("SensitiveShare(public) = %v, want 1", st.SensitiveShare(OnPublic))
+	}
+
+	st.PlaceSensitive(OnPrivate, OnPublic)
+	if st.SensitiveCount(OnPublic) != 0 {
+		t.Fatal("PlaceSensitive left sensitive assets public")
+	}
+	// 5 exam bundles + 50 grade records pinned private.
+	if got := st.SensitiveCount(OnPrivate); got != 55 {
+		t.Fatalf("SensitiveCount(private) = %d, want 55", got)
+	}
+	if st.SensitiveShare(OnPrivate) != 1 {
+		t.Fatal("SensitiveShare(private) != 1 after pinning")
+	}
+	// Bulk content is on the public side.
+	if st.Count(OnPublic) != st.Len()-55 {
+		t.Fatalf("public count = %d", st.Count(OnPublic))
+	}
+}
+
+func TestAssetStoreBytes(t *testing.T) {
+	st := NewAssetStore(1, 1)
+	// 2e9 (content) + 20e6 (exam) + 1e6 (grade) + 50e6 (submissions).
+	want := 2e9 + 20e6 + 1e6 + 50e6
+	if got := st.BytesAt(OnPrivate); math.Abs(got-want) > 1 {
+		t.Fatalf("BytesAt = %v, want %v", got, want)
+	}
+	if st.BytesAt(OnPublic) != 0 {
+		t.Fatal("public bytes should be 0")
+	}
+}
+
+func TestAssetStorePlaceSingle(t *testing.T) {
+	st := NewAssetStore(1, 0)
+	assets := st.Assets()
+	st.Place(assets[0].ID, OnPublic)
+	if st.LocationOf(assets[0].ID) != OnPublic {
+		t.Fatal("Place did not move asset")
+	}
+	if st.Count(OnPublic) != 1 {
+		t.Fatalf("Count(public) = %d", st.Count(OnPublic))
+	}
+}
+
+func TestAssetStorePlaceUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAssetStore(1, 1).Place(9999, OnPublic)
+}
+
+func TestAssetStoreNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAssetStore(-1, 0)
+}
+
+func TestAssetStoreEmptySensitiveShare(t *testing.T) {
+	st := NewAssetStore(0, 0)
+	if st.SensitiveShare(OnPublic) != 0 {
+		t.Fatal("empty store SensitiveShare != 0")
+	}
+}
+
+func TestLocationAndKindStrings(t *testing.T) {
+	if OnPublic.String() != "public" || OnPrivate.String() != "private" {
+		t.Fatal("location strings wrong")
+	}
+	if Location(9).String() != "Location(9)" {
+		t.Fatal("unknown location string wrong")
+	}
+	kinds := map[AssetKind]string{
+		CourseContent: "course-content", ExamQuestions: "exam-questions",
+		Grades: "grades", Submissions: "submissions",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	if AssetKind(9).String() != "AssetKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestAssetsReturnsCopy(t *testing.T) {
+	st := NewAssetStore(1, 1)
+	a := st.Assets()
+	a[0].Bytes = -1
+	if st.Assets()[0].Bytes == -1 {
+		t.Fatal("Assets exposed internal state")
+	}
+}

@@ -1,0 +1,160 @@
+package lms
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"elearncloud/internal/cloud"
+	"elearncloud/internal/sim"
+)
+
+// bootCluster builds a cluster of n single-VM servers.
+func bootCluster(t *testing.T, eng *sim.Engine, n, maxJobs int) (*Cluster, []*AppServer) {
+	t.Helper()
+	dc := cloud.NewDatacenter(eng, cloud.Config{
+		Name:         "t",
+		Hosts:        n,
+		HostCapacity: cloud.Resources{CPU: 16, Mem: 64, Disk: 500},
+	})
+	c := NewCluster("web")
+	var servers []*AppServer
+	for i := 0; i < n; i++ {
+		vm, err := dc.Provision(cloud.InstanceSpec{
+			Name: "m", Res: cloud.Resources{CPU: 2, Mem: 4, Disk: 10},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewAppServer(eng, vm, maxJobs)
+		servers = append(servers, s)
+		c.Add(s)
+	}
+	for eng.Pending() > 0 && eng.Now() == 0 {
+		eng.Step() // drain instant boots
+	}
+	return c, servers
+}
+
+func TestClusterRoutesToLeastLoaded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, servers := bootCluster(t, eng, 2, 0)
+	c.Submit(10, nil) // server 0
+	c.Submit(10, nil) // server 1 (least-loaded)
+	c.Submit(10, nil) // back to server 0 (tie -> earliest)
+	if servers[0].Active() != 2 || servers[1].Active() != 1 {
+		t.Fatalf("active = %d,%d; want 2,1", servers[0].Active(), servers[1].Active())
+	}
+}
+
+func TestClusterRejectsWhenSaturated(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, _ := bootCluster(t, eng, 2, 1)
+	if !c.Submit(10, nil) || !c.Submit(10, nil) {
+		t.Fatal("cluster rejected within capacity")
+	}
+	if c.Submit(10, nil) {
+		t.Fatal("cluster admitted past capacity")
+	}
+	if c.Rejected() != 1 {
+		t.Fatalf("Rejected = %d", c.Rejected())
+	}
+}
+
+func TestClusterServedCount(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, _ := bootCluster(t, eng, 2, 0)
+	for i := 0; i < 6; i++ {
+		if !c.Submit(0.01, nil) {
+			t.Fatal("rejected")
+		}
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Served() != 6 {
+		t.Fatalf("Served = %d", c.Served())
+	}
+	if c.Active() != 0 {
+		t.Fatalf("Active = %d", c.Active())
+	}
+}
+
+func TestClusterLoadSignal(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, _ := bootCluster(t, eng, 2, 0)
+	if c.Load() != 0 {
+		t.Fatalf("idle Load = %v", c.Load())
+	}
+	c.Submit(100, nil)
+	c.Submit(100, nil)
+	c.Submit(100, nil)
+	if got := c.Load(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("Load = %v, want 1.5", got)
+	}
+}
+
+func TestClusterRemove(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, servers := bootCluster(t, eng, 2, 0)
+	c.Remove(servers[0])
+	if c.Size() != 1 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	c.Remove(servers[0]) // no-op
+	if c.Size() != 1 {
+		t.Fatal("double remove changed size")
+	}
+	c.Submit(10, nil)
+	if servers[0].Active() != 0 {
+		t.Fatal("removed server received work")
+	}
+}
+
+func TestClusterSkipsRetiredServers(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, servers := bootCluster(t, eng, 2, 0)
+	servers[0].Retire(nil)
+	if got := c.AcceptingSize(); got != 1 {
+		t.Fatalf("AcceptingSize = %d", got)
+	}
+	c.Submit(10, nil)
+	if servers[0].Active() != 0 {
+		t.Fatal("retired server received work")
+	}
+	if servers[1].Active() != 1 {
+		t.Fatal("healthy server did not receive work")
+	}
+}
+
+func TestClusterEmptyRejects(t *testing.T) {
+	c := NewCluster("empty")
+	if c.Submit(1, nil) {
+		t.Fatal("empty cluster admitted a job")
+	}
+	if c.Load() != 0 {
+		t.Fatal("empty cluster Load != 0")
+	}
+}
+
+func TestSubmitTimedReportsSojourn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, _ := bootCluster(t, eng, 1, 0)
+	var sojourn float64
+	c.SubmitTimed(eng, 2.0, func(s float64) { sojourn = s })
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sojourn-2.0) > 1e-9 {
+		t.Fatalf("sojourn = %v, want 2", sojourn)
+	}
+}
+
+func TestClusterAddNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewCluster("x").Add(nil)
+}

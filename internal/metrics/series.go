@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Point is one sample of a time series: a virtual timestamp and a value.
+type Point struct {
+	At    time.Duration
+	Value float64
+}
+
+// TimeSeries accumulates (time, value) samples, e.g. arrival rate per
+// minute or active VM count over a simulated day. Samples must be appended
+// in nondecreasing time order.
+type TimeSeries struct {
+	name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty series with a display name.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{name: name}
+}
+
+// Name returns the display name.
+func (ts *TimeSeries) Name() string { return ts.name }
+
+// Add appends a sample. It panics if t precedes the latest sample, which
+// would indicate a simulation ordering bug.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].At {
+		panic(fmt.Sprintf("metrics: TimeSeries %q sample at %v before last %v",
+			ts.name, t, ts.points[n-1].At))
+	}
+	ts.points = append(ts.points, Point{At: t, Value: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns a copy of the samples.
+func (ts *TimeSeries) Points() []Point {
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Last returns the latest sample value, or 0 if empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.points) == 0 {
+		return 0
+	}
+	return ts.points[len(ts.points)-1].Value
+}
+
+// Max returns the largest sample value, or 0 if empty.
+func (ts *TimeSeries) Max() float64 {
+	max := math.Inf(-1)
+	for _, p := range ts.points {
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean of sample values, or 0 if empty.
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ts.points {
+		sum += p.Value
+	}
+	return sum / float64(len(ts.points))
+}
+
+// TimeMean returns the time-weighted mean of the series, treating each
+// sample value as holding until the next sample (step interpolation). It
+// returns the plain mean when fewer than two samples exist.
+func (ts *TimeSeries) TimeMean() float64 {
+	if len(ts.points) < 2 {
+		return ts.Mean()
+	}
+	var weighted, total float64
+	for i := 0; i < len(ts.points)-1; i++ {
+		dt := ts.points[i+1].At - ts.points[i].At
+		weighted += ts.points[i].Value * dt.Seconds()
+		total += dt.Seconds()
+	}
+	if total == 0 {
+		return ts.Mean()
+	}
+	return weighted / total
+}
+
+// Downsample returns a new series with one point per bucket of width w,
+// each holding the mean of the source values in that bucket. Used to turn
+// dense simulation traces into plot-sized figure series.
+func (ts *TimeSeries) Downsample(w time.Duration) *TimeSeries {
+	if w <= 0 {
+		panic("metrics: Downsample with non-positive width")
+	}
+	out := NewTimeSeries(ts.name)
+	if len(ts.points) == 0 {
+		return out
+	}
+	bucket := ts.points[0].At / w
+	sum, n := 0.0, 0
+	flush := func(b time.Duration) {
+		if n > 0 {
+			out.Add(b*w, sum/float64(n))
+		}
+	}
+	for _, p := range ts.points {
+		b := p.At / w
+		if b != bucket {
+			flush(bucket)
+			bucket, sum, n = b, 0, 0
+		}
+		sum += p.Value
+		n++
+	}
+	flush(bucket)
+	return out
+}
+
+// Counter is a monotonically increasing count with a name.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic (counters are monotone).
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Availability tracks up/down intervals of a component over virtual time
+// and reports the availability ratio and downtime.
+type Availability struct {
+	up        bool
+	since     time.Duration
+	upTotal   time.Duration
+	downTotal time.Duration
+	outages   int
+	started   bool
+}
+
+// NewAvailability returns a tracker that is initially up from time zero.
+func NewAvailability() *Availability {
+	return &Availability{up: true, started: true}
+}
+
+// SetState records a state transition at virtual time t. Repeated calls
+// with the same state are ignored. Calls must have nondecreasing t.
+func (a *Availability) SetState(t time.Duration, up bool) {
+	if t < a.since {
+		panic("metrics: Availability state change in the past")
+	}
+	if up == a.up {
+		return
+	}
+	a.accumulate(t)
+	a.up = up
+	if !up {
+		a.outages++
+	}
+}
+
+func (a *Availability) accumulate(t time.Duration) {
+	d := t - a.since
+	if a.up {
+		a.upTotal += d
+	} else {
+		a.downTotal += d
+	}
+	a.since = t
+}
+
+// Finish closes the current interval at time t and returns the tracker for
+// chaining. Call once at the end of a simulation.
+func (a *Availability) Finish(t time.Duration) *Availability {
+	a.accumulate(t)
+	return a
+}
+
+// Ratio returns uptime / (uptime + downtime), or 1 when nothing elapsed.
+func (a *Availability) Ratio() float64 {
+	total := a.upTotal + a.downTotal
+	if total == 0 {
+		return 1
+	}
+	return float64(a.upTotal) / float64(total)
+}
+
+// Downtime returns the accumulated down duration.
+func (a *Availability) Downtime() time.Duration { return a.downTotal }
+
+// Outages returns the number of up->down transitions.
+func (a *Availability) Outages() int { return a.outages }

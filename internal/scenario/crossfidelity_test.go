@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/workload"
+)
+
+// The two fidelities must agree where their domains overlap: the fluid
+// approximation's consumption estimates should track the request-level
+// simulation on the same config. This guards against the two models
+// silently drifting apart as either evolves.
+func TestFluidTracksDESConsumption(t *testing.T) {
+	cfg := Config{
+		Seed:              21,
+		Kind:              deploy.Public,
+		Students:          800,
+		ReqPerStudentHour: 50,
+		Duration:          8 * time.Hour,
+		Diurnal:           workload.FlatDiurnal(),
+	}
+	des, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := FluidRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Egress: both integrate rate x mean payload; the DES adds sampling
+	// noise and the boot-grace gap. Agreement within 20%.
+	ratio := des.EgressGB / fluid.EgressGB
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("egress diverged: DES %.2f GB vs fluid %.2f GB (ratio %.2f)",
+			des.EgressGB, fluid.EgressGB, ratio)
+	}
+
+	// VM-hours: the fluid model sizes to instantaneous need; the DES
+	// carries a reactive floor and booting VMs, so it consumes more but
+	// within a small factor.
+	if des.VMHoursPublic < fluid.VMHoursPublic {
+		t.Fatalf("DES VM-hours %.1f below idealized fluid %.1f",
+			des.VMHoursPublic, fluid.VMHoursPublic)
+	}
+	if des.VMHoursPublic > fluid.VMHoursPublic*6 {
+		t.Fatalf("DES VM-hours %.1f more than 6x fluid %.1f — fidelities drifted",
+			des.VMHoursPublic, fluid.VMHoursPublic)
+	}
+}
+
+// Same check for the private model, where both fidelities should agree
+// on the fixed fleet's host count exactly.
+func TestFluidTracksDESPrivateSizing(t *testing.T) {
+	cfg := Config{
+		Seed:              22,
+		Kind:              deploy.Private,
+		Students:          2000,
+		ReqPerStudentHour: 50,
+		Duration:          6 * time.Hour,
+		Diurnal:           workload.FlatDiurnal(),
+	}
+	des, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluid, err := FluidRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.PrivateHosts != fluid.PrivateHosts {
+		t.Fatalf("host sizing diverged: DES %d vs fluid %d",
+			des.PrivateHosts, fluid.PrivateHosts)
+	}
+	// Identical fixed capacity means identical capex bills.
+	if des.Cost.Capex != fluid.Cost.Capex {
+		t.Fatalf("capex diverged: DES %v vs fluid %v", des.Cost.Capex, fluid.Cost.Capex)
+	}
+}

@@ -1,0 +1,223 @@
+package scenario
+
+import (
+	"math"
+	"time"
+
+	"elearncloud/internal/cdn"
+	"elearncloud/internal/cost"
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/workload"
+)
+
+// fluidStep is the integration step for FluidRun.
+const fluidStep = 5 * time.Minute
+
+// FluidResult is the flow-level approximation's output: capacity, cost
+// and utilization over long horizons, without per-request latency.
+type FluidResult struct {
+	// Kind echoes the deployment model.
+	Kind deploy.Kind
+	// Duration is the simulated horizon.
+	Duration time.Duration
+
+	// VMHoursPublic integrates elastic fleet size over time.
+	VMHoursPublic float64
+	// VMHoursPrivate integrates the fixed private fleet (always on).
+	VMHoursPrivate float64
+	// PrivateHosts is the owned hardware count.
+	PrivateHosts int
+	// PeakServers is the largest instantaneous fleet.
+	PeakServers int
+	// MeanPrivateUtil is the average fraction of the private fleet doing
+	// useful work — §IV.B's underutilization argument made measurable.
+	MeanPrivateUtil float64
+	// Rate and Servers are downsampled series for figures.
+	Rate    *metrics.TimeSeries
+	Servers *metrics.TimeSeries
+	// ServerRankHours is the fleet's utilization duration curve:
+	// element k holds how many hours the (k+1)-th public server was
+	// running over the horizon. It feeds the reserved-instance
+	// purchase-mix optimization (Table 8).
+	ServerRankHours []float64
+	// EgressGB estimates data served out of the public cloud.
+	EgressGB float64
+	// CDNGB estimates edge-delivered data (zero when the CDN is off).
+	CDNGB float64
+	// CDNHitRatio is the analytic edge hit ratio used.
+	CDNHitRatio float64
+	// Cost is the itemized bill.
+	Cost cost.Report
+}
+
+// CostPerStudentMonth normalizes to USD/student/month.
+func (r *FluidResult) CostPerStudentMonth(students int) float64 {
+	months := r.Duration.Hours() / 730
+	return cost.PerStudentMonth(r.Cost, students, months)
+}
+
+// FluidRun integrates the arrival-rate curve into capacity, utilization
+// and cost. Use it for semester- and year-scale questions (Figures 3-4);
+// use Run when latency distributions matter.
+func FluidRun(cfg Config) (*FluidResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	cat, teaching := mixFor()
+	gen, err := workload.NewGenerator(workload.Config{
+		Students:          cfg.Students,
+		ReqPerStudentHour: cfg.ReqPerStudentHour,
+		Diurnal:           cfg.Diurnal,
+		Calendar:          cfg.Calendar,
+		Crowds:            cfg.Crowds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meanSvc := teaching.MeanService(cat)
+	meanPayload := teaching.MeanPayload(cat)
+	peakServers := deploy.ServersForPeak(gen.MaxRate(), meanSvc, cfg.TargetUtil)
+
+	privServers := 0
+	pubShare := 1.0 // fraction of served bytes leaving the public cloud
+	switch cfg.Kind {
+	case deploy.Private:
+		privServers = peakServers
+		pubShare = 0
+	case deploy.Hybrid:
+		privServers = int(math.Ceil(float64(peakServers) * cfg.HybridPolicy.PrivateBaseShare))
+		if privServers < 1 {
+			privServers = 1
+		}
+		// Sensitive traffic stays in-house; the rest serves publicly.
+		pubShare = 1 - teaching.SensitiveShare(cat)
+	case deploy.Desktop:
+		pubShare = 0
+	}
+
+	res := &FluidResult{
+		Kind:     cfg.Kind,
+		Duration: cfg.Duration,
+		Rate:     metrics.NewTimeSeries("rate-rps"),
+		Servers:  metrics.NewTimeSeries("servers"),
+	}
+
+	// CDN split: video bytes ride the edge, the rest stays raw egress.
+	videoByteShare := 0.0
+	cdnHit := 0.0
+	if cfg.EnableCDN {
+		videoByteShare = teaching.PayloadShare(cat, lms.VideoChunk)
+		cdnCfg := cdn.DefaultConfig(cfg.Courses)
+		cdnHit = cdn.AnalyticHitRatio(cdnCfg.CatalogObjects, cdnCfg.CacheObjects, cdnCfg.ZipfS)
+	}
+
+	var (
+		egressBytes  float64
+		cdnBytes     float64
+		utilAccum    float64
+		steps        int
+		downsampleTo = cfg.Duration / 500 // keep figure series plottable
+	)
+	if downsampleTo < fluidStep {
+		downsampleTo = fluidStep
+	}
+	stepHours := fluidStep.Hours()
+	for t := time.Duration(0); t < cfg.Duration; t += fluidStep {
+		rate := gen.Rate(t)
+		needed := int(math.Ceil(rate * meanSvc / cfg.TargetUtil))
+		if needed < 1 {
+			needed = 1
+		}
+
+		pub, priv := 0, 0
+		switch cfg.Kind {
+		case deploy.Public:
+			pub = needed
+		case deploy.Private:
+			priv = privServers // always on
+		case deploy.Hybrid:
+			priv = privServers
+			if needed > privServers {
+				pub = needed - privServers
+			}
+		case deploy.Desktop:
+			// no servers at all
+		}
+		res.VMHoursPublic += float64(pub) * stepHours
+		res.VMHoursPrivate += float64(priv) * stepHours
+		for k := 0; k < pub; k++ {
+			if k >= len(res.ServerRankHours) {
+				res.ServerRankHours = append(res.ServerRankHours, 0)
+			}
+			res.ServerRankHours[k] += stepHours
+		}
+		if total := pub + priv; total > res.PeakServers {
+			res.PeakServers = total
+		}
+		if privServers > 0 {
+			busyPriv := math.Min(float64(needed), float64(privServers))
+			utilAccum += busyPriv / float64(privServers)
+			steps++
+		}
+		publicBytes := rate * fluidStep.Seconds() * meanPayload * pubShare
+		if cfg.EnableCDN {
+			video := publicBytes * videoByteShare
+			cdnBytes += video
+			egressBytes += (publicBytes - video) + video*(1-cdnHit)
+		} else {
+			egressBytes += publicBytes
+		}
+
+		res.Rate.Add(t, rate)
+		res.Servers.Add(t, float64(pub+priv))
+	}
+	if steps > 0 {
+		res.MeanPrivateUtil = utilAccum / float64(steps)
+	}
+	res.EgressGB = egressBytes / 1e9
+	res.CDNGB = cdnBytes / 1e9
+	res.CDNHitRatio = cdnHit
+	res.Rate = res.Rate.Downsample(downsampleTo)
+	res.Servers = res.Servers.Downsample(downsampleTo)
+
+	// Private hosts sized exactly as deploy.Build would size them.
+	if privServers > 0 {
+		hostCPU := 16.0
+		perHost := int(hostCPU / 4) // m.large-shaped VMs on 16-core hosts
+		if perHost < 1 {
+			perHost = 1
+		}
+		res.PrivateHosts = (privServers + perHost - 1) / perHost
+	}
+
+	months := cfg.Duration.Hours() / 730
+	u := cost.Usage{Months: months}
+	assets := lms.NewAssetStore(cfg.Courses, cfg.Students)
+	switch cfg.Kind {
+	case deploy.Public:
+		assets.PlaceAll(lms.OnPublic)
+		u.VMHoursOnDemand = res.VMHoursPublic
+		u.EgressGB = res.EgressGB
+		u.CDNGB = res.CDNGB
+		u.StorageGBMonths = assets.BytesAt(lms.OnPublic) / 1e9 * months
+	case deploy.Private:
+		u.PrivateHosts = res.PrivateHosts
+	case deploy.Hybrid:
+		assets.PlaceSensitive(lms.OnPrivate, lms.OnPublic)
+		u.VMHoursOnDemand = res.VMHoursPublic
+		u.EgressGB = res.EgressGB
+		u.CDNGB = res.CDNGB
+		u.StorageGBMonths = assets.BytesAt(lms.OnPublic) / 1e9 * months
+		u.PrivateHosts = res.PrivateHosts
+		u.HybridMonths = months
+	case deploy.Desktop:
+		u.DesktopStudents = cfg.Students
+	}
+	res.Cost, err = cost.Bill(u, cost.DefaultRates())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

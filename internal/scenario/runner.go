@@ -1,0 +1,419 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"elearncloud/internal/cdn"
+	"elearncloud/internal/cost"
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/network"
+	"elearncloud/internal/scale"
+	"elearncloud/internal/security"
+	"elearncloud/internal/sim"
+	"elearncloud/internal/workload"
+)
+
+// bootGrace delays the first arrivals so bootstrap fleets finish booting;
+// it is charged to the horizon like any quiet period.
+const bootGrace = 3 * time.Minute
+
+// desktopSlowdown models aging lab PCs versus a provisioned server core.
+const desktopSlowdown = 1.4
+
+// Run executes a full request-level simulation of cfg and returns the
+// measured Result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	cat, teaching := mixFor()
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Students:          cfg.Students,
+		ReqPerStudentHour: cfg.ReqPerStudentHour,
+		Diurnal:           cfg.Diurnal,
+		Calendar:          cfg.Calendar,
+		Crowds:            cfg.Crowds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meanSvc := teaching.MeanService(cat)
+	dep, err := deploy.Build(eng, deploy.Spec{
+		Kind:            cfg.Kind,
+		Students:        cfg.Students,
+		Courses:         cfg.Courses,
+		ExpectedPeakRPS: gen.MaxRate(),
+		MeanServiceSec:  meanSvc,
+		TargetUtil:      cfg.TargetUtil,
+		Policy:          cfg.HybridPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	topo := network.BuildTopology(eng, cfg.Access)
+
+	res := &Result{
+		Kind:         cfg.Kind,
+		Scaler:       cfg.Scaler,
+		Duration:     cfg.Duration,
+		Latency:      metrics.DefaultLatency(),
+		Servers:      metrics.NewTimeSeries("servers"),
+		Utilization:  metrics.NewTimeSeries("load-per-server"),
+		P95Series:    metrics.NewTimeSeries("p95-window"),
+		PrivateHosts: dep.PrivateHosts,
+	}
+	windowHist := metrics.DefaultLatency()
+
+	// --- fleets ---------------------------------------------------------
+	pubCluster := lms.NewCluster("public")
+	privCluster := lms.NewCluster("private")
+	var pubFleet, privFleet *fleet
+	var stops []func()
+
+	maxPublic := cfg.MaxPublicServers
+	if maxPublic <= 0 {
+		maxPublic = dep.ServersAtPeak * 4
+	}
+	privServers := dep.ServersAtPeak
+	if cfg.Kind == deploy.Hybrid {
+		privServers = int(math.Ceil(float64(dep.ServersAtPeak) * cfg.HybridPolicy.PrivateBaseShare))
+		if privServers < 1 {
+			privServers = 1
+		}
+	}
+
+	if dep.PublicDC != nil {
+		pubFleet = newFleet(eng, dep.PublicDC, pubCluster, dep.InstanceType.Spec(), maxPublic)
+		pubTarget := dep.ServersAtPeak
+		if cfg.Kind == deploy.Hybrid {
+			pubTarget = dep.ServersAtPeak - privServers
+			if pubTarget < 1 {
+				pubTarget = 1
+			}
+		}
+		initial := pubTarget
+		if cfg.Scaler != ScalerFixed {
+			initial = (pubTarget + 3) / 4
+			if initial < 2 {
+				initial = 2
+			}
+		}
+		pubFleet.ScaleTo(initial)
+		// The bootstrap size is also the scale-in floor: production
+		// fleets never drain below their baseline, or the first spike
+		// after a quiet night pays the full boot lag.
+		if stop := startScaler(eng, cfg, meanSvc, pubFleet, initial, maxPublic); stop != nil {
+			stops = append(stops, stop)
+		}
+	}
+	if dep.PrivateDC != nil {
+		privFleet = newFleet(eng, dep.PrivateDC, privCluster, dep.PrivateSpec, 0)
+		privFleet.ScaleTo(privServers) // fixed fleet, sized up front
+	}
+
+	// --- CDN ---------------------------------------------------------------
+	var edge *cdn.Edge
+	if cfg.EnableCDN && dep.PublicDC != nil {
+		edge, err = cdn.NewEdge(cdn.DefaultConfig(cfg.Courses), eng.Stream("cdn"))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- request handling ------------------------------------------------
+	var (
+		svcRNG      = eng.Stream("service")
+		payRNG      = eng.Stream("payload")
+		netRNG      = eng.Stream("net")
+		egressBytes float64
+	)
+	finish := func(path *network.Path, billEgress bool, payload float64, start sim.Time) func() {
+		return func() {
+			tt := path.TransferTime(netRNG, payload)
+			release := path.BeginTransfer()
+			eng.Schedule(sim.Seconds(tt), "transfer", func() {
+				release()
+				lat := sim.ToSeconds(eng.Now() - start)
+				res.Latency.Observe(lat)
+				windowHist.Observe(lat)
+				res.Served++
+				if billEgress {
+					egressBytes += payload
+				}
+			})
+		}
+	}
+	handle := func(a workload.Arrival) {
+		spec := cat.Spec(a.Class)
+		service := spec.Service.Sample(svcRNG)
+		payload := spec.Payload.Sample(payRNG)
+
+		if cfg.Kind == deploy.Desktop {
+			// Locally installed application: no network, no queueing
+			// across users, just a slower machine.
+			res.Latency.Observe(service * desktopSlowdown)
+			windowHist.Observe(service * desktopSlowdown)
+			res.Served++
+			return
+		}
+
+		path, cluster, public := topo.ToCloud, pubCluster, true
+		if cfg.Kind == deploy.Private || (cfg.Kind == deploy.Hybrid && spec.Sensitive) {
+			path, cluster, public = topo.ToCampus, privCluster, false
+		}
+		// Video served through the CDN: edge hits skip the backbone and
+		// bill at CDN rates; misses pay the origin trip. The edge does
+		// its own byte accounting either way.
+		if edge != nil && public && a.Class == lms.VideoChunk {
+			if !topo.ToEdge.Up() {
+				res.Offline++
+				return
+			}
+			hit := edge.Serve(payload)
+			videoPath := topo.ToEdge
+			if !hit {
+				videoPath = topo.ToCloud
+			}
+			if cluster.Submit(service, finish(videoPath, false, payload, eng.Now())) {
+				return
+			}
+			res.Rejected++
+			return
+		}
+		// Relaxed hybrids divert sensitive work to the public side as
+		// soon as the private side runs hot (per-server pressure above
+		// the burst threshold), not only when admission fails — waiting
+		// for the 256-job wall would mean minutes of queueing first.
+		const burstLoad = 8
+		if cfg.Kind == deploy.Hybrid && spec.Sensitive && !cfg.StrictPinning &&
+			privCluster.Load() > burstLoad && topo.ToCloud.Up() {
+			if pubCluster.Submit(service, finish(topo.ToCloud, true, payload, eng.Now())) {
+				res.PolicyViolations++
+				return
+			}
+		}
+		if !path.Up() {
+			res.Offline++
+			return
+		}
+		if cluster.Submit(service, finish(path, public, payload, eng.Now())) {
+			return
+		}
+		// Admission failed. Hybrids may still burst sensitive work
+		// publicly unless pinning is strict (Table 4's policy knob).
+		if cfg.Kind == deploy.Hybrid && spec.Sensitive && !cfg.StrictPinning && topo.ToCloud.Up() {
+			if pubCluster.Submit(service, finish(topo.ToCloud, true, payload, eng.Now())) {
+				res.PolicyViolations++
+				return
+			}
+		}
+		res.Rejected++
+	}
+
+	stream := gen.Stream(eng.Stream("workload"), bootGrace)
+	var pump func()
+	pump = func() {
+		a, ok := stream.Next(cfg.Duration)
+		if !ok {
+			return
+		}
+		eng.ScheduleAt(a.At, "arrival", func() {
+			handle(a)
+			pump()
+		})
+	}
+	pump()
+
+	// --- sessions and lost work ------------------------------------------
+	var sessions []*lms.Session
+	if cfg.Kind != deploy.Desktop {
+		sessions = make([]*lms.Session, cfg.TrackedSessions)
+		for i := range sessions {
+			sessions[i] = lms.NewSession(i, 0)
+		}
+		stops = append(stops, eng.Every(cfg.AutosaveEvery, "autosave", func() {
+			for _, s := range sessions {
+				s.Autosave(eng.Now())
+			}
+		}))
+		if fp := topo.LastMile.Failure(); fp != nil {
+			fp.OnChange(func(up bool) {
+				now := eng.Now()
+				if up {
+					for _, s := range sessions {
+						s.Reconnect(now)
+					}
+					return
+				}
+				res.Disconnects++
+				for _, s := range sessions {
+					s.Disconnect(now)
+				}
+			})
+		}
+	}
+
+	// --- host failure injection --------------------------------------------
+	if cfg.HostFailureAt > 0 && privFleet != nil {
+		eng.ScheduleAt(cfg.HostFailureAt, "host-failure", func() {
+			res.KilledJobs += privFleet.FailHost(0)
+			dep.PrivateDC.FailHost(0)
+			eng.Schedule(cfg.HostRecoveryAfter, "host-repair", func() {
+				dep.PrivateDC.RepairHost(0)
+				privFleet.ScaleTo(privServers)
+			})
+		})
+	}
+
+	// --- threats ----------------------------------------------------------
+	var threat *security.ThreatModel
+	if cfg.EnableThreats {
+		threat, err = security.NewThreatModel(eng, eng.Stream("threat"), threatConfig(cfg.Kind), dep.Assets)
+		if err != nil {
+			return nil, err
+		}
+		stops = append(stops, threat.Start())
+	}
+
+	// --- periodic sampling -------------------------------------------------
+	stops = append(stops, eng.Every(time.Minute, "sample", func() {
+		servers := 0
+		load := 0.0
+		if pubFleet != nil {
+			servers += pubFleet.Desired()
+		}
+		if privFleet != nil {
+			servers += privFleet.Desired()
+		}
+		active := pubCluster.Active() + privCluster.Active()
+		if servers > 0 {
+			load = float64(active) / float64(servers)
+		}
+		res.Servers.Add(eng.Now(), float64(servers))
+		res.Utilization.Add(eng.Now(), load)
+		res.P95Series.Add(eng.Now(), windowHist.P95())
+		windowHist.Reset()
+	}))
+
+	// --- run ---------------------------------------------------------------
+	if err := eng.RunUntil(cfg.Duration); err != nil {
+		return nil, fmt.Errorf("scenario: engine: %w", err)
+	}
+	for _, stop := range stops {
+		stop()
+	}
+
+	// --- finalize ------------------------------------------------------------
+	if dep.PublicDC != nil {
+		res.VMHoursPublic = dep.PublicDC.VMHours()
+	}
+	if dep.PrivateDC != nil {
+		res.VMHoursPrivate = dep.PrivateDC.VMHours()
+	}
+	if pubFleet != nil {
+		res.PeakServers += pubFleet.Peak()
+	}
+	if privFleet != nil {
+		res.PeakServers += privFleet.Peak()
+	}
+	res.EgressGB = egressBytes / 1e9
+	if edge != nil {
+		res.EgressGB += edge.OriginGB()
+		res.CDNGB = edge.ServedGB()
+		res.CDNHitRatio = edge.Cache().HitRatio()
+	}
+	for _, s := range sessions {
+		res.LostWork += s.LostWork()
+	}
+	res.NetAvailability = 1
+	if fp := topo.LastMile.Failure(); fp != nil {
+		res.NetAvailability = fp.Availability().Ratio()
+	}
+	if threat != nil {
+		res.Breaches = threat.Breaches()
+		res.SensitiveExposures = threat.SensitiveExposures()
+		res.DataLossEvents = threat.DataLossEvents()
+		res.BytesLost = threat.BytesLost()
+	}
+
+	res.Cost, err = billRun(cfg, dep, res)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// startScaler attaches the configured autoscaler to the elastic fleet and
+// returns its stop function (nil for the fixed policy). min is the
+// scale-in floor (the bootstrap size).
+func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Target, min, maxPublic int) func() {
+	switch cfg.Scaler {
+	case ScalerReactive:
+		return scale.NewReactive(target, scale.ReactiveConfig{
+			Interval:      time.Minute,
+			UpThreshold:   6,
+			DownThreshold: 1.5,
+			Step:          4,
+			Min:           min,
+			Max:           maxPublic,
+			Cooldown:      2 * time.Minute,
+		}).Start(eng)
+	case ScalerScheduled:
+		// The timetable knows the diurnal/calendar shape but not flash
+		// crowds — a scheduled exam surprise is exactly what it misses.
+		planGen, err := workload.NewGenerator(workload.Config{
+			Students:          cfg.Students,
+			ReqPerStudentHour: cfg.ReqPerStudentHour,
+			Diurnal:           cfg.Diurnal,
+			Calendar:          cfg.Calendar,
+		})
+		if err != nil {
+			return nil
+		}
+		plan := func(tod time.Duration) int {
+			return deploy.ServersForPeak(planGen.Rate(tod), meanSvc, cfg.TargetUtil) + 1
+		}
+		return scale.NewScheduled(target, plan, 5*time.Minute, 1, maxPublic).Start(eng)
+	case ScalerPredictive:
+		return scale.NewPredictive(target, scale.PredictiveConfig{
+			Interval:  time.Minute,
+			Lead:      5 * time.Minute,
+			PerServer: 4,
+			Min:       min,
+			Max:       maxPublic,
+		}).Start(eng)
+	default:
+		return nil
+	}
+}
+
+// billRun converts measured consumption into the itemized bill.
+func billRun(cfg Config, dep *deploy.Deployment, res *Result) (cost.Report, error) {
+	months := cfg.Duration.Hours() / 730
+	u := cost.Usage{Months: months}
+	switch cfg.Kind {
+	case deploy.Public:
+		u.VMHoursOnDemand = res.VMHoursPublic
+		u.EgressGB = res.EgressGB
+		u.CDNGB = res.CDNGB
+		u.StorageGBMonths = dep.Assets.BytesAt(lms.OnPublic) / 1e9 * months
+	case deploy.Private:
+		u.PrivateHosts = dep.PrivateHosts
+	case deploy.Hybrid:
+		u.VMHoursOnDemand = res.VMHoursPublic
+		u.EgressGB = res.EgressGB
+		u.CDNGB = res.CDNGB
+		u.StorageGBMonths = dep.Assets.BytesAt(lms.OnPublic) / 1e9 * months
+		u.PrivateHosts = dep.PrivateHosts
+		u.HybridMonths = months
+	case deploy.Desktop:
+		u.DesktopStudents = cfg.Students
+	}
+	return cost.Bill(u, cost.DefaultRates())
+}

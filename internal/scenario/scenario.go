@@ -1,0 +1,243 @@
+// Package scenario binds every substrate into end-to-end experiments: a
+// deployment model serving the e-learning workload over a network, with
+// autoscaling, sessions, threats and cost accounting. It offers two
+// fidelities:
+//
+//   - Run: full request-level discrete-event simulation, for experiments
+//     where latency distributions and overload behavior matter (exam
+//     spikes, network outages). Horizons of hours to a few days.
+//   - FluidRun: a flow-level approximation that steps the arrival-rate
+//     curve and integrates capacity, utilization and cost, for
+//     semester-scale TCO and utilization studies where per-request
+//     queueing is irrelevant.
+//
+// Both are deterministic given (seed, config).
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"elearncloud/internal/cost"
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/network"
+	"elearncloud/internal/security"
+	"elearncloud/internal/workload"
+)
+
+// ScalerKind selects the elasticity policy for the elastic (public) side.
+type ScalerKind int
+
+// Scaler kinds.
+const (
+	ScalerFixed ScalerKind = iota + 1
+	ScalerReactive
+	ScalerScheduled
+	ScalerPredictive
+)
+
+// String returns the policy name.
+func (k ScalerKind) String() string {
+	switch k {
+	case ScalerFixed:
+		return "fixed"
+	case ScalerReactive:
+		return "reactive"
+	case ScalerScheduled:
+		return "scheduled"
+	case ScalerPredictive:
+		return "predictive"
+	default:
+		return fmt.Sprintf("ScalerKind(%d)", int(k))
+	}
+}
+
+// Config describes one experiment.
+type Config struct {
+	// Seed drives all randomness; same seed + config = same result.
+	Seed uint64
+	// Kind is the deployment model under test.
+	Kind deploy.Kind
+	// Students and Courses size the institution.
+	Students int
+	Courses  int
+	// ReqPerStudentHour is mean per-student demand (default 50).
+	ReqPerStudentHour float64
+	// Access is the user population's connectivity profile (default
+	// UrbanBroadband; the paper's rural learners use RuralDSL).
+	Access network.AccessProfile
+	// Duration is the simulated horizon (default 6h for Run).
+	Duration time.Duration
+	// Diurnal shapes the day (default CampusDiurnal; experiments that
+	// want analytic load use FlatDiurnal).
+	Diurnal *workload.DiurnalProfile
+	// Calendar optionally shapes a multi-week run.
+	Calendar *workload.Calendar
+	// Crowds adds exam flash-crowd windows.
+	Crowds []workload.FlashCrowd
+	// Scaler picks the elasticity policy for the elastic side (default
+	// reactive for public/hybrid; private is always a fixed fleet).
+	Scaler ScalerKind
+	// HybridPolicy configures the hybrid split (default: sensitive
+	// pinned private, half the steady capacity in-house).
+	HybridPolicy deploy.HybridPolicy
+	// StrictPinning keeps sensitive requests on the private side even
+	// when it saturates; relaxed pinning bursts them to public and
+	// counts the policy violations (Table 4 ablation).
+	StrictPinning bool
+	// EnableThreats runs the security model during the scenario.
+	EnableThreats bool
+	// EnableCDN serves video through an edge CDN on deployments with a
+	// public side: hits take the short edge path and bill at CDN rates;
+	// misses fetch from the origin and pay egress.
+	EnableCDN bool
+	// HostFailureAt, when positive, destroys private host 0 at that
+	// time, killing its VMs — §IV.B's "physical damage of the unit",
+	// injected live. HostRecoveryAfter restores it (default 4h).
+	HostFailureAt     time.Duration
+	HostRecoveryAfter time.Duration
+	// AutosaveEvery is the cloud LMS autosave interval (default 5m).
+	AutosaveEvery time.Duration
+	// TrackedSessions is how many user sessions to follow for lost-work
+	// accounting (default 50).
+	TrackedSessions int
+	// TargetUtil sizes fleets (default 0.6).
+	TargetUtil float64
+	// MaxPublicServers caps elastic growth (default 0: derived from peak
+	// sizing × 4).
+	MaxPublicServers int
+}
+
+func (c *Config) defaults() error {
+	if c.Kind == 0 {
+		c.Kind = deploy.Public
+	}
+	if c.Students <= 0 {
+		return fmt.Errorf("scenario: Students = %d, need > 0", c.Students)
+	}
+	if c.Courses <= 0 {
+		c.Courses = c.Students/25 + 1
+	}
+	if c.ReqPerStudentHour == 0 {
+		c.ReqPerStudentHour = 50
+	}
+	if c.ReqPerStudentHour < 0 {
+		return fmt.Errorf("scenario: negative ReqPerStudentHour")
+	}
+	if c.Access.Name == "" {
+		c.Access = network.UrbanBroadband
+	}
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Hour
+	}
+	if c.Scaler == 0 {
+		c.Scaler = ScalerReactive
+	}
+	if c.Kind == deploy.Hybrid && c.HybridPolicy == (deploy.HybridPolicy{}) {
+		c.HybridPolicy = deploy.DefaultHybridPolicy()
+	}
+	if c.AutosaveEvery <= 0 {
+		c.AutosaveEvery = 5 * time.Minute
+	}
+	if c.TrackedSessions <= 0 {
+		c.TrackedSessions = 50
+	}
+	if c.TrackedSessions > c.Students {
+		c.TrackedSessions = c.Students
+	}
+	if c.TargetUtil <= 0 || c.TargetUtil > 1 {
+		c.TargetUtil = 0.6
+	}
+	if c.HostFailureAt > 0 && c.HostRecoveryAfter <= 0 {
+		c.HostRecoveryAfter = 4 * time.Hour
+	}
+	return nil
+}
+
+// Result is what one scenario run measured.
+type Result struct {
+	// Kind echoes the model under test.
+	Kind deploy.Kind
+	// Scaler echoes the elasticity policy.
+	Scaler ScalerKind
+	// Duration is the simulated horizon.
+	Duration time.Duration
+
+	// Latency is the end-to-end response-time distribution (seconds).
+	Latency *metrics.Histogram
+	// Served, Rejected and Offline count request outcomes: completed,
+	// refused by a saturated fleet, and lost to a down network path.
+	Served, Rejected, Offline uint64
+	// PolicyViolations counts sensitive requests served on the public
+	// side under relaxed pinning.
+	PolicyViolations uint64
+
+	// Servers tracks fleet size over time; Utilization tracks offered
+	// load over capacity; P95Series tracks the rolling per-minute P95
+	// latency (Figure 2's y-axis).
+	Servers     *metrics.TimeSeries
+	Utilization *metrics.TimeSeries
+	P95Series   *metrics.TimeSeries
+	// PeakServers is the largest fleet observed.
+	PeakServers int
+
+	// VMHoursPublic / VMHoursPrivate are compute consumption by side.
+	VMHoursPublic  float64
+	VMHoursPrivate float64
+	// PrivateHosts is the owned fleet size.
+	PrivateHosts int
+	// EgressGB is data served out of the public cloud.
+	EgressGB float64
+	// CDNGB is data delivered via the edge CDN; CDNHitRatio is the edge
+	// cache's realized hit ratio (both zero when the CDN is disabled).
+	CDNGB       float64
+	CDNHitRatio float64
+	// KilledJobs counts in-flight requests destroyed by host failure.
+	KilledJobs int
+
+	// LostWork is cumulative unsaved work destroyed by disconnects
+	// across tracked sessions; Disconnects counts outage-driven drops.
+	LostWork    time.Duration
+	Disconnects int
+	// NetAvailability is the last-mile availability observed.
+	NetAvailability float64
+
+	// Breaches, SensitiveExposures, DataLossEvents and BytesLost come
+	// from the threat model (zero when threats are disabled).
+	Breaches           int
+	SensitiveExposures int
+	DataLossEvents     int
+	BytesLost          float64
+
+	// Cost is the itemized bill for the run.
+	Cost cost.Report
+}
+
+// ErrorRate returns the fraction of request attempts the user perceived
+// as failed: rejected, offline, or killed by a host failure.
+func (r *Result) ErrorRate() float64 {
+	failed := r.Rejected + r.Offline + uint64(r.KilledJobs)
+	total := r.Served + failed
+	if total == 0 {
+		return 0
+	}
+	return float64(failed) / float64(total)
+}
+
+// CostPerStudentMonth normalizes cost to USD/student/month.
+func (r *Result) CostPerStudentMonth(students int) float64 {
+	months := r.Duration.Hours() / 730
+	return cost.PerStudentMonth(r.Cost, students, months)
+}
+
+// mixFor returns the catalog and steady mix used across runs.
+func mixFor() (*lms.Catalog, *lms.Mix) {
+	return lms.DefaultCatalog(), lms.TeachingMix()
+}
+
+// threatConfig builds the per-model threat environment.
+func threatConfig(kind deploy.Kind) security.Config {
+	return security.ConfigFor(kind)
+}

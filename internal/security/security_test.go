@@ -1,0 +1,179 @@
+package security
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/sim"
+)
+
+const simYears = 40 // long horizon to tighten stochastic estimates
+
+func runThreat(t *testing.T, cfg Config, place func(*lms.AssetStore)) *ThreatModel {
+	t.Helper()
+	eng := sim.NewEngine(77)
+	assets := lms.NewAssetStore(20, 500)
+	place(assets)
+	m, err := NewThreatModel(eng, eng.Stream("threat"), cfg, assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := m.Start()
+	defer stop()
+	if err := eng.Run(simYears * 365 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBreachRateMatchesAnalytic(t *testing.T) {
+	cfg := DefaultConfig()
+	m := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPublic) })
+	months := float64(simYears * 12)
+	want := m.ExpectedBreachesPerMonth() * months
+	got := float64(m.Breaches())
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("breaches = %v, want ~%v", got, want)
+	}
+	if m.DataLossEvents() > 0 {
+		t.Fatal("all-public placement suffered on-prem data loss")
+	}
+}
+
+func TestPublicPlacementBreachesMoreThanPrivate(t *testing.T) {
+	cfg := DefaultConfig()
+	pub := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPublic) })
+	priv := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPrivate) })
+	if pub.Breaches() <= priv.Breaches() {
+		t.Fatalf("public breaches (%d) should exceed private (%d) — paper §IV.A",
+			pub.Breaches(), priv.Breaches())
+	}
+	// But only private placements lose data to physical damage.
+	if priv.DataLossEvents() == 0 {
+		t.Fatal("private placement never suffered physical damage in 40y at MTBF 15y")
+	}
+	if priv.BytesLost() <= 0 {
+		t.Fatal("physical damage lost no bytes without backup")
+	}
+}
+
+func TestHybridPinningLimitsSensitiveExposure(t *testing.T) {
+	cfg := DefaultConfig()
+	allPub := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPublic) })
+	pinned := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceSensitive(lms.OnPrivate, lms.OnPublic) })
+	// With sensitive assets pinned private, public breaches expose zero
+	// sensitive assets; exposures come only from rarer private breaches.
+	if pinned.SensitiveExposures() >= allPub.SensitiveExposures() {
+		t.Fatalf("pinned exposures (%d) should be far below all-public (%d)",
+			pinned.SensitiveExposures(), allPub.SensitiveExposures())
+	}
+}
+
+func TestOffsiteBackupPreventsByteLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OffsiteBackup = true
+	m := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPrivate) })
+	if m.BytesLost() != 0 {
+		t.Fatalf("BytesLost = %v with offsite backup", m.BytesLost())
+	}
+	if m.DataLossEvents() == 0 {
+		t.Fatal("incidents should still be recorded with backup")
+	}
+}
+
+func TestDataLossRateMatchesAnalytic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AttackRatePerMonth = 0 // isolate the damage process
+	m := runThreat(t, cfg, func(a *lms.AssetStore) { a.PlaceAll(lms.OnPrivate) })
+	want := m.ExpectedDataLossPerYear() * simYears
+	got := float64(m.DataLossEvents())
+	if math.Abs(got-want)/want > 0.8 { // few events: loose bound
+		t.Fatalf("data-loss events = %v, want ~%v", got, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{AttackRatePerMonth: -1},
+		{PublicBreachProb: 2},
+		{PrivateBreachProb: -0.1},
+		{PhysicalMTBFYears: -1},
+		{DamageLossFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewThreatModelNilArgs(t *testing.T) {
+	eng := sim.NewEngine(1)
+	assets := lms.NewAssetStore(1, 1)
+	if _, err := NewThreatModel(nil, eng.Stream("x"), DefaultConfig(), assets); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewThreatModel(eng, nil, DefaultConfig(), assets); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewThreatModel(eng, eng.Stream("x"), DefaultConfig(), nil); err == nil {
+		t.Fatal("nil assets accepted")
+	}
+}
+
+func TestConfigForDesktopIsRiskier(t *testing.T) {
+	d := ConfigFor(deploy.Desktop)
+	c := ConfigFor(deploy.Public)
+	if d.PrivateBreachProb <= c.PrivateBreachProb {
+		t.Fatal("desktop local exposure should exceed datacenter")
+	}
+	if d.PhysicalMTBFYears >= c.PhysicalMTBFYears {
+		t.Fatal("lab PCs should fail more often than a server room")
+	}
+}
+
+func TestStopHaltsProcesses(t *testing.T) {
+	eng := sim.NewEngine(5)
+	assets := lms.NewAssetStore(5, 50)
+	assets.PlaceAll(lms.OnPublic)
+	m, err := NewThreatModel(eng, eng.Stream("threat"), DefaultConfig(), assets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := m.Start()
+	stop()
+	stop() // double-stop is safe
+	if err := eng.Run(365 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Incidents()) != 0 {
+		t.Fatalf("stopped model still produced %d incidents", len(m.Incidents()))
+	}
+}
+
+func TestIncidentKindString(t *testing.T) {
+	if Breach.String() != "breach" || DataLoss.String() != "data-loss" {
+		t.Fatal("kind strings wrong")
+	}
+	if IncidentKind(9).String() != "IncidentKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestIncidentsReturnsCopy(t *testing.T) {
+	m := runThreat(t, DefaultConfig(), func(a *lms.AssetStore) { a.PlaceAll(lms.OnPublic) })
+	ins := m.Incidents()
+	if len(ins) == 0 {
+		t.Skip("no incidents this seed")
+	}
+	ins[0].SensitiveAssets = -99
+	if m.Incidents()[0].SensitiveAssets == -99 {
+		t.Fatal("Incidents exposed internal state")
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+// RateFunc gives an instantaneous arrival rate (events per second) at a
+// virtual time. Rates must be non-negative and bounded by the MaxRate
+// passed to NewNHPP.
+type RateFunc func(t Time) float64
+
+// NHPP generates arrival times from a non-homogeneous Poisson process by
+// Lewis–Shedler thinning: candidate arrivals are drawn from a homogeneous
+// process at maxRate and accepted with probability rate(t)/maxRate.
+type NHPP struct {
+	rng     *RNG
+	rate    RateFunc
+	maxRate float64
+	now     Time
+}
+
+// NewNHPP builds a generator starting at virtual time start. maxRate must
+// be a true upper bound on rate over the generation horizon; violations
+// silently under-generate, so callers should size it generously.
+func NewNHPP(rng *RNG, rate RateFunc, maxRate float64, start Time) *NHPP {
+	if rng == nil {
+		panic("sim: NewNHPP with nil rng")
+	}
+	if maxRate <= 0 {
+		panic("sim: NewNHPP with non-positive maxRate")
+	}
+	if rate == nil {
+		panic("sim: NewNHPP with nil rate function")
+	}
+	return &NHPP{rng: rng, rate: rate, maxRate: maxRate, now: start}
+}
+
+// Next returns the next arrival time strictly after the previous one, or
+// ok=false if no arrival occurs before horizon.
+func (p *NHPP) Next(horizon Time) (t Time, ok bool) {
+	for {
+		p.now += Seconds(p.rng.Exp(1 / p.maxRate))
+		if p.now > horizon {
+			return 0, false
+		}
+		r := p.rate(p.now)
+		if r < 0 {
+			r = 0
+		}
+		if r > p.maxRate {
+			r = p.maxRate
+		}
+		if p.rng.Float64() < r/p.maxRate {
+			return p.now, true
+		}
+	}
+}
+
+// GenerateInto repeatedly calls Next until horizon and invokes arrive for
+// each accepted arrival time. It returns the number of arrivals.
+func (p *NHPP) GenerateInto(horizon Time, arrive func(t Time)) int {
+	n := 0
+	for {
+		t, ok := p.Next(horizon)
+		if !ok {
+			return n
+		}
+		arrive(t)
+		n++
+	}
+}

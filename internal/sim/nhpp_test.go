@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNHPPHomogeneousRateMatchesExpectation(t *testing.T) {
+	r := NewRNG(51)
+	const rate = 10.0 // arrivals/s
+	p := NewNHPP(r, func(Time) float64 { return rate }, rate, 0)
+	horizon := 1000 * time.Second
+	n := p.GenerateInto(horizon, func(Time) {})
+	want := rate * ToSeconds(horizon)
+	if math.Abs(float64(n)-want)/want > 0.05 {
+		t.Fatalf("arrivals = %d, want ~%v", n, want)
+	}
+}
+
+func TestNHPPArrivalsStrictlyIncreaseAndRespectHorizon(t *testing.T) {
+	r := NewRNG(53)
+	p := NewNHPP(r, func(t Time) float64 { return 5 + 4*math.Sin(ToSeconds(t)/100) }, 10, 0)
+	horizon := 500 * time.Second
+	last := Time(-1)
+	p.GenerateInto(horizon, func(at Time) {
+		if at <= last {
+			t.Fatalf("non-increasing arrival: %v after %v", at, last)
+		}
+		if at > horizon {
+			t.Fatalf("arrival %v beyond horizon %v", at, horizon)
+		}
+		last = at
+	})
+}
+
+func TestNHPPTracksTimeVaryingRate(t *testing.T) {
+	// Rate is 20/s in the first half, 2/s in the second half. The ratio of
+	// arrivals must be ~10:1.
+	r := NewRNG(57)
+	half := 500 * time.Second
+	rate := func(t Time) float64 {
+		if t < half {
+			return 20
+		}
+		return 2
+	}
+	p := NewNHPP(r, rate, 20, 0)
+	var first, second int
+	p.GenerateInto(2*half, func(at Time) {
+		if at < half {
+			first++
+		} else {
+			second++
+		}
+	})
+	ratio := float64(first) / float64(second)
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("ratio = %v, want ~10 (first=%d second=%d)", ratio, first, second)
+	}
+}
+
+func TestNHPPZeroRatePeriodsProduceNoArrivals(t *testing.T) {
+	r := NewRNG(59)
+	// Zero rate everywhere except an active window.
+	active := func(t Time) bool { return t >= 100*time.Second && t < 200*time.Second }
+	p := NewNHPP(r, func(t Time) float64 {
+		if active(t) {
+			return 10
+		}
+		return 0
+	}, 10, 0)
+	p.GenerateInto(300*time.Second, func(at Time) {
+		if !active(at) {
+			t.Fatalf("arrival at %v outside active window", at)
+		}
+	})
+}
+
+func TestNHPPDeterminism(t *testing.T) {
+	gen := func() []Time {
+		r := NewRNG(61)
+		p := NewNHPP(r, func(Time) float64 { return 3 }, 3, 0)
+		var out []Time
+		p.GenerateInto(100*time.Second, func(at Time) { out = append(out, at) })
+		return out
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestNHPPPanics(t *testing.T) {
+	r := NewRNG(1)
+	for name, fn := range map[string]func(){
+		"nil rng":      func() { NewNHPP(nil, func(Time) float64 { return 1 }, 1, 0) },
+		"zero maxRate": func() { NewNHPP(r, func(Time) float64 { return 1 }, 0, 0) },
+		"nil rate":     func() { NewNHPP(r, nil, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every other elearncloud package runs on. It
+// offers a virtual clock, an event queue with stable FIFO ordering among
+// simultaneous events, seeded and splittable random-number streams, a small
+// library of probability distributions, and a non-homogeneous Poisson
+// process generator used by the workload package.
+//
+// Determinism contract: two Engines constructed with the same seed and fed
+// the same schedule of events produce byte-identical event orderings and
+// random draws. All randomness used in a simulation must flow through
+// RNG streams obtained from the engine (or from an explicit seed) for this
+// contract to hold.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start
+// of the simulation. Using time.Duration keeps unit errors out of client
+// code while remaining a plain int64 internally.
+type Time = time.Duration
+
+// Event is a scheduled callback. Fn runs when the virtual clock reaches At.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At Time
+	// Fn is the callback invoked when the event fires. It must not be nil.
+	Fn func()
+	// Name optionally labels the event for tracing and test output.
+	Name string
+
+	seq   uint64 // insertion order, for stable FIFO among equal times
+	index int    // heap index; -1 once popped or canceled
+}
+
+// Canceled reports whether the event was canceled or has already fired.
+func (e *Event) Canceled() bool { return e.index < 0 }
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrStopped is returned by Run when the simulation was halted with Stop
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engines are not safe for concurrent use; a simulation is a single logical
+// thread of control in which event callbacks schedule further events.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	rng     *RNG
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine whose root random stream is seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// RNG returns the engine's root random stream.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Stream derives a named, independent random stream from the engine seed.
+// The same (seed, name) pair always yields the same stream.
+func (e *Engine) Stream(name string) *RNG { return e.rng.Stream(name) }
+
+// Schedule enqueues fn to run after delay d from the current virtual time.
+// A negative delay is treated as zero. The returned Event may be passed to
+// Cancel.
+func (e *Engine) Schedule(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now+d, name, fn)
+}
+
+// ScheduleAt enqueues fn to run at absolute virtual time at. Times in the
+// past are clamped to the current time (the event fires next, after already
+// queued events at the current instant).
+func (e *Engine) ScheduleAt(at Time, name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil Fn")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, Name: name, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event from the queue. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock.
+// It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.At > e.now {
+		e.now = ev.At
+	}
+	e.fired++
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue drains, the virtual clock passes
+// horizon, or Stop is called. A zero horizon means "no horizon" (run until
+// the queue drains). It returns ErrStopped if halted by Stop.
+func (e *Engine) Run(horizon Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0].At
+		if horizon > 0 && next > horizon {
+			e.now = horizon
+			return nil
+		}
+		e.Step()
+	}
+	if horizon > 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// RunUntil is shorthand for Run with an absolute horizon; it always leaves
+// the clock at exactly horizon unless stopped early.
+func (e *Engine) RunUntil(horizon Time) error { return e.Run(horizon) }
+
+// Every schedules fn to run periodically, first after period, then every
+// period thereafter, until the returned stop function is called or the
+// simulation ends. Periods must be positive.
+func (e *Engine) Every(period Time, name string, fn func()) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = e.Schedule(period, name, tick)
+		}
+	}
+	pending = e.Schedule(period, name, tick)
+	return func() {
+		stopped = true
+		e.Cancel(pending)
+	}
+}
+
+// Seconds converts a float64 second count to virtual Time.
+func Seconds(s float64) Time {
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		panic("sim: Seconds of NaN or Inf")
+	}
+	return Time(s * float64(time.Second))
+}
+
+// ToSeconds converts virtual Time to float64 seconds.
+func ToSeconds(t Time) float64 { return float64(t) / float64(time.Second) }

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Second, "c", func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, "a", func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, "b", func() { got = append(got, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAmongSimultaneousEvents(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "same", func() { got = append(got, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(5*time.Second, "probe", func() { at = e.Now() })
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("Now at event = %v, want 5s", at)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("final Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineHorizonStopsAndAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(10*time.Second, "late", func() { fired = true })
+	if err := e.Run(4 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if e.Now() != 4*time.Second {
+		t.Fatalf("Now = %v, want horizon 4s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineScheduleInPastClamps(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(2*time.Second, "outer", func() {
+		e.ScheduleAt(0, "past", func() { order = append(order, "past") })
+		e.Schedule(0, "now", func() { order = append(order, "now") })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "past" || order[1] != "now" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, "x", func() { fired = true })
+	e.Cancel(ev)
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Double-cancel and cancel-after-fire must be no-ops.
+	e.Cancel(ev)
+	ev2 := e.Schedule(time.Second, "y", func() {})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e.Cancel(ev2)
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*time.Second, "n", func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	if err := e.Run(0); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	stop := e.Every(time.Second, "tick", func() { ticks++ })
+	e.Schedule(5500*time.Millisecond, "stop", func() { stop() })
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestEngineEveryPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive period")
+		}
+	}()
+	NewEngine(1).Every(0, "bad", func() {})
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		e := NewEngine(seed)
+		var out []float64
+		r := e.Stream("load")
+		for i := 0; i < 50; i++ {
+			d := Seconds(r.Exp(1.0))
+			e.Schedule(d*Time(i+1), "ev", func() {
+				out = append(out, ToSeconds(e.Now()))
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Property: for any batch of delays, events fire in nondecreasing time
+// order and the count matches.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var times []Time
+		for _, d := range delays {
+			d := Time(d) * time.Millisecond
+			e.Schedule(d, "p", func() { times = append(times, e.Now()) })
+		}
+		if err := e.Run(0); err != nil {
+			return false
+		}
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil Fn")
+		}
+	}()
+	NewEngine(1).Schedule(time.Second, "nil", nil)
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 0.001, 1, 3600, 86400} {
+		if got := ToSeconds(Seconds(s)); got != s {
+			t.Fatalf("round trip %g -> %g", s, got)
+		}
+	}
+}
+
+func TestFiredCounts(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i)*time.Millisecond, "n", func() {})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}

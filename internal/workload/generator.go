@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"elearncloud/internal/lms"
+	"elearncloud/internal/sim"
+)
+
+// Arrival is one generated request arrival.
+type Arrival struct {
+	// At is the arrival's virtual time.
+	At time.Duration `json:"at"`
+	// Class is the LMS request class.
+	Class lms.Class `json:"class"`
+	// UserID identifies the issuing student in [0, Students).
+	UserID int `json:"user"`
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Students is the active population size.
+	Students int
+	// ReqPerStudentHour is the mean request rate per student during an
+	// average hour (the diurnal profile redistributes it within a day).
+	// Typical interactive LMS usage is 40-80 requests/student-hour.
+	ReqPerStudentHour float64
+	// Diurnal shapes the day; defaults to CampusDiurnal.
+	Diurnal *DiurnalProfile
+	// Calendar shapes the term; nil means every week is Teaching at 1.0.
+	Calendar *Calendar
+	// Crowds adds exam flash-crowd windows.
+	Crowds []FlashCrowd
+	// TeachingMix and ExamMix override the request mixes; nil uses the
+	// lms defaults.
+	TeachingMix *lms.Mix
+	ExamMix     *lms.Mix
+}
+
+// Generator produces a non-homogeneous Poisson stream of LMS arrivals.
+type Generator struct {
+	cfg         Config
+	teachingMix *lms.Mix
+	examMix     *lms.Mix
+}
+
+// NewGenerator validates cfg and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Students <= 0 {
+		return nil, fmt.Errorf("workload: Students = %d, need > 0", cfg.Students)
+	}
+	if cfg.ReqPerStudentHour <= 0 {
+		return nil, fmt.Errorf("workload: ReqPerStudentHour = %v, need > 0", cfg.ReqPerStudentHour)
+	}
+	for _, c := range cfg.Crowds {
+		if err := c.sanity(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Diurnal == nil {
+		cfg.Diurnal = CampusDiurnal()
+	}
+	g := &Generator{cfg: cfg, teachingMix: cfg.TeachingMix, examMix: cfg.ExamMix}
+	if g.teachingMix == nil {
+		g.teachingMix = lms.TeachingMix()
+	}
+	if g.examMix == nil {
+		g.examMix = lms.ExamMix()
+	}
+	return g, nil
+}
+
+// Students returns the configured population size.
+func (g *Generator) Students() int { return g.cfg.Students }
+
+// Rate returns the instantaneous aggregate arrival rate (req/s) at t.
+func (g *Generator) Rate(t time.Duration) float64 {
+	base := float64(g.cfg.Students) * g.cfg.ReqPerStudentHour / 3600
+	rate := base * g.cfg.Diurnal.At(t)
+	if g.cfg.Calendar != nil {
+		rate *= g.cfg.Calendar.WeekAt(t).Mult
+	}
+	for _, c := range g.cfg.Crowds {
+		if c.Active(t) {
+			rate *= c.Mult
+		}
+	}
+	return rate
+}
+
+// MaxRate returns an upper bound on Rate over any horizon, used to drive
+// the thinning sampler.
+func (g *Generator) MaxRate() float64 {
+	base := float64(g.cfg.Students) * g.cfg.ReqPerStudentHour / 3600
+	max := base * g.cfg.Diurnal.Peak()
+	if g.cfg.Calendar != nil {
+		max *= g.cfg.Calendar.PeakMult()
+	}
+	crowdMax := 1.0
+	for _, c := range g.cfg.Crowds {
+		if c.Mult > crowdMax {
+			crowdMax = c.Mult
+		}
+	}
+	return max * crowdMax
+}
+
+// MixAt returns the request mix in force at time t: the exam mix inside
+// exam weeks and exam flash crowds, the teaching mix otherwise.
+func (g *Generator) MixAt(t time.Duration) *lms.Mix {
+	for _, c := range g.cfg.Crowds {
+		if c.Active(t) && c.ExamTraffic {
+			return g.examMix
+		}
+	}
+	if g.cfg.Calendar != nil && g.cfg.Calendar.WeekAt(t).Kind == Exams {
+		return g.examMix
+	}
+	return g.teachingMix
+}
+
+// Generate produces arrivals on [start, horizon) in time order, invoking
+// fn for each, and returns the count. Identical (rng state, config)
+// produce identical streams.
+func (g *Generator) Generate(rng *sim.RNG, start, horizon time.Duration, fn func(Arrival)) int {
+	proc := sim.NewNHPP(rng.Stream("arrivals"), func(t sim.Time) float64 {
+		return g.Rate(t)
+	}, g.MaxRate(), start)
+	classRNG := rng.Stream("classes")
+	userRNG := rng.Stream("users")
+	return proc.GenerateInto(horizon, func(t sim.Time) {
+		fn(Arrival{
+			At:     t,
+			Class:  g.MixAt(t).Sample(classRNG),
+			UserID: userRNG.Intn(g.cfg.Students),
+		})
+	})
+}
+
+// ArrivalStream produces arrivals one at a time, so simulations can
+// schedule lazily instead of materializing millions of events up front.
+type ArrivalStream struct {
+	gen      *Generator
+	proc     *sim.NHPP
+	classRNG *sim.RNG
+	userRNG  *sim.RNG
+}
+
+// Stream returns a lazy arrival stream starting at start.
+func (g *Generator) Stream(rng *sim.RNG, start time.Duration) *ArrivalStream {
+	return &ArrivalStream{
+		gen: g,
+		proc: sim.NewNHPP(rng.Stream("arrivals"), func(t sim.Time) float64 {
+			return g.Rate(t)
+		}, g.MaxRate(), start),
+		classRNG: rng.Stream("classes"),
+		userRNG:  rng.Stream("users"),
+	}
+}
+
+// Next returns the next arrival strictly before horizon, or ok=false.
+func (s *ArrivalStream) Next(horizon time.Duration) (Arrival, bool) {
+	t, ok := s.proc.Next(horizon)
+	if !ok {
+		return Arrival{}, false
+	}
+	return Arrival{
+		At:     t,
+		Class:  s.gen.MixAt(t).Sample(s.classRNG),
+		UserID: s.userRNG.Intn(s.gen.cfg.Students),
+	}, true
+}
+
+// Record captures the arrivals on [start, horizon) as a Trace.
+func (g *Generator) Record(rng *sim.RNG, start, horizon time.Duration) *Trace {
+	tr := &Trace{Students: g.cfg.Students}
+	g.Generate(rng, start, horizon, func(a Arrival) {
+		tr.Arrivals = append(tr.Arrivals, a)
+	})
+	return tr
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trace is a recorded arrival stream: the reproducibility artifact that
+// lets every deployment model face byte-identical load.
+type Trace struct {
+	// Students is the population the trace was generated for.
+	Students int `json:"students"`
+	// Arrivals are in nondecreasing time order.
+	Arrivals []Arrival `json:"arrivals"`
+}
+
+// Len returns the number of arrivals.
+func (tr *Trace) Len() int { return len(tr.Arrivals) }
+
+// Duration returns the time of the last arrival (0 for empty traces).
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Arrivals) == 0 {
+		return 0
+	}
+	return tr.Arrivals[len(tr.Arrivals)-1].At
+}
+
+// Validate checks ordering and user-ID ranges.
+func (tr *Trace) Validate() error {
+	var last time.Duration
+	for i, a := range tr.Arrivals {
+		if a.At < last {
+			return fmt.Errorf("workload: trace arrival %d at %v precedes %v", i, a.At, last)
+		}
+		if a.UserID < 0 || a.UserID >= tr.Students {
+			return fmt.Errorf("workload: trace arrival %d has user %d outside [0,%d)", i, a.UserID, tr.Students)
+		}
+		last = a.At
+	}
+	return nil
+}
+
+// MeanRate returns the average arrival rate in req/s over the trace span.
+func (tr *Trace) MeanRate() float64 {
+	d := tr.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(tr.Arrivals)) / d.Seconds()
+}
+
+// WriteTo serializes the trace as JSON.
+func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return 0, fmt.Errorf("workload: encode trace: %w", err)
+	}
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadTrace deserializes a JSON trace and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// Replay invokes fn for each arrival in order.
+func (tr *Trace) Replay(fn func(Arrival)) {
+	for _, a := range tr.Arrivals {
+		fn(a)
+	}
+}
