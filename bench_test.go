@@ -31,7 +31,9 @@ const benchSeed = 1
 var printOnce sync.Map
 
 // runExperiment executes one registered experiment per iteration and
-// prints its table a single time per process.
+// prints its table a single time per process. Experiments run with the
+// default worker pool (one per CPU); their artifacts are byte-identical
+// to a serial run.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	exp, err := experiments.Find(id)
@@ -40,7 +42,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	var tbl *metrics.Table
 	for i := 0; i < b.N; i++ {
-		tbl, err = exp.Run(benchSeed)
+		tbl, err = exp.Run(benchSeed, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

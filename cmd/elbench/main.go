@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	elbench [-seed N] [-id table3] [-csv]
+//	elbench [-seed N] [-id table3] [-csv] [-parallel N]
 //
 // With -id, only the named experiment runs; with -csv the table is
-// emitted as CSV instead of aligned text.
+// emitted as CSV instead of aligned text. -parallel is the total worker
+// budget, split between the pool across experiments and each
+// experiment's internal scenario batch (default: one worker per CPU).
+// Output is byte-identical for every -parallel value: experiments print
+// in registry order, each scenario job's randomness is fixed at
+// submission by its config and seed, and batch results are collected in
+// submission order.
 package main
 
 import (
@@ -15,6 +21,8 @@ import (
 	"os"
 
 	"elearncloud/internal/experiments"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/scenario"
 )
 
 func main() {
@@ -29,8 +37,16 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	id := fs.String("id", "", "run only this experiment id (e.g. table3, figure5)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	parallel := fs.Int("parallel", scenario.DefaultWorkers(),
+		"worker pool size across and within experiments (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Seed 0 is the batch runner's "derive from (seed, job name)"
+	// sentinel: batched jobs would be silently reseeded while direct
+	// runs kept raw 0, so refuse the ambiguity outright.
+	if *seed == 0 {
+		return fmt.Errorf("-seed 0 is reserved (zero means \"derive\" inside scenario batches); pass a nonzero seed")
 	}
 
 	var list []experiments.Experiment
@@ -44,11 +60,26 @@ func run(args []string) error {
 		list = experiments.All()
 	}
 
-	for _, e := range list {
-		tbl, err := e.Run(*seed)
+	// Regenerate every artifact on the pool, then print in registry
+	// order — the parallel output must be indistinguishable from the
+	// serial one. The -parallel budget is split between the pool across
+	// experiments and each experiment's internal batch, so total
+	// concurrency stays near N instead of N².
+	outer, inner := scenario.SplitBudget(*parallel, len(list))
+	tables := make([]*metrics.Table, len(list))
+	err := scenario.ForEach(len(list), outer, func(i int) error {
+		tbl, err := list[i].Run(*seed, inner)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return fmt.Errorf("%s: %w", list[i].ID, err)
 		}
+		tables[i] = tbl
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for _, tbl := range tables {
 		if *csv {
 			fmt.Print(tbl.CSV())
 		} else {

@@ -26,3 +26,21 @@ func TestRunSingleExperimentCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunRejectsSeedZero(t *testing.T) {
+	// Seed 0 is the batch runner's derive sentinel; the CLI refuses it.
+	if err := run([]string{"-id", "figure7", "-seed", "0"}); err == nil {
+		t.Fatal("seed 0 accepted")
+	}
+}
+
+func TestRunParallelFlag(t *testing.T) {
+	// Analytic experiment through an oversized pool: worker count must
+	// never affect success (or, per the determinism tests, output).
+	if err := run([]string{"-id", "figure7", "-parallel", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-id", "figure1", "-parallel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module elearncloud
+
+go 1.24

@@ -46,6 +46,10 @@ type MeasureConfig struct {
 	DESStudents int
 	// ExamMult is the flash-crowd multiplier (default 10).
 	ExamMult float64
+	// Workers sizes the pool the component simulations fan out on
+	// (<= 0 means scenario.DefaultWorkers). Results are identical for
+	// every worker count.
+	Workers int
 }
 
 func (c *MeasureConfig) defaults() {
@@ -82,22 +86,19 @@ func MeasureInputs(cfg MeasureConfig) (*Inputs, error) {
 		OpsBurdenUSDMonth:   make(map[deploy.Kind]float64),
 	}
 	sem := workload.StandardSemester()
+
+	// The nine component simulations (three per model) are independent;
+	// declare them as named jobs and fan them out on the batch runner.
+	batch := scenario.NewBatch(cfg.Seed)
 	for _, kind := range deploy.Kinds() {
-		// Cost: fluid semester.
-		fluid, err := scenario.FluidRun(scenario.Config{
+		batch.AddFluid("fluid/"+kind.String(), scenario.Config{
 			Seed:     cfg.Seed,
 			Kind:     kind,
 			Students: cfg.Students,
 			Duration: sem.Duration(),
 			Calendar: sem,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: fluid %v: %w", kind, err)
-		}
-		in.CostPerStudentMonth[kind] = fluid.CostPerStudentMonth(cfg.Students)
-
-		// Performance: 2h of steady teaching load.
-		steady, err := scenario.Run(scenario.Config{
+		batch.Add("steady/"+kind.String(), scenario.Config{
 			Seed:              cfg.Seed,
 			Kind:              kind,
 			Students:          cfg.DESStudents,
@@ -105,13 +106,7 @@ func MeasureInputs(cfg MeasureConfig) (*Inputs, error) {
 			Duration:          2 * time.Hour,
 			Diurnal:           workload.FlatDiurnal(),
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: steady %v: %w", kind, err)
-		}
-		in.P95LatencySec[kind] = steady.Latency.P95()
-
-		// Scalability: exam flash crowd.
-		exam, err := scenario.Run(scenario.Config{
+		batch.Add("exam/"+kind.String(), scenario.Config{
 			Seed:              cfg.Seed,
 			Kind:              kind,
 			Students:          cfg.DESStudents,
@@ -123,9 +118,22 @@ func MeasureInputs(cfg MeasureConfig) (*Inputs, error) {
 				Mult: cfg.ExamMult, ExamTraffic: true,
 			}},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: exam %v: %w", kind, err)
-		}
+	}
+	runs, err := batch.Run(cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	for _, kind := range deploy.Kinds() {
+		// Cost: fluid semester.
+		fluid := runs.Fluid("fluid/" + kind.String())
+		in.CostPerStudentMonth[kind] = fluid.CostPerStudentMonth(cfg.Students)
+
+		// Performance: 2h of steady teaching load.
+		in.P95LatencySec[kind] = runs.Result("steady/" + kind.String()).Latency.P95()
+
+		// Scalability: exam flash crowd.
+		exam := runs.Result("exam/" + kind.String())
 		in.ExamP99Sec[kind] = exam.Latency.P99()
 		in.ExamErrorRate[kind] = exam.ErrorRate()
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCrossModeDeterminism is the cross-mode regression test for the
+// batch runner's contract: for a fixed seed, the serial path
+// (workers=1) and the parallel batch path (workers=4) must render
+// byte-identical artifacts, because every scenario job's RNG streams
+// derive from (seed, job name) and results are collected in submission
+// order. It covers one multi-fidelity table (table1), one DES ablation
+// (table5) and one time-series figure (figure2).
+func TestCrossModeDeterminism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs each experiment twice; skipped in -short mode")
+	}
+	const seed = 11
+	for _, id := range []string{"table1", "table5", "figure2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Find(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(seed, 1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			parallel, err := e.Run(seed, 4)
+			if err != nil {
+				t.Fatalf("workers=4: %v", err)
+			}
+			if s, p := serial.String(), parallel.String(); s != p {
+				t.Errorf("%s rendered text differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+			}
+			if s, p := serial.CSV(), parallel.CSV(); s != p {
+				t.Errorf("%s CSV differs between workers=1 and workers=4", id)
+			}
+		})
+	}
+}

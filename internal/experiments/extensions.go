@@ -24,7 +24,7 @@ import (
 
 // Table7Federation studies a national shared private cloud for staggered
 // member institutions.
-func Table7Federation(seed uint64) (*metrics.Table, error) {
+func Table7Federation(seed uint64, _ int) (*metrics.Table, error) {
 	res, err := federate.Study(federate.Config{Members: []federate.Member{
 		{Name: "capital-university", Students: 12000, CalendarShiftWeeks: 0},
 		{Name: "coastal-college", Students: 4000, CalendarShiftWeeks: 2},
@@ -41,28 +41,29 @@ func Table7Federation(seed uint64) (*metrics.Table, error) {
 
 // Figure8CDN reprices the public model with an edge CDN across
 // institution sizes and reports how far the Figure 3 crossover moves.
-func Figure8CDN(seed uint64) (*metrics.Table, error) {
+func Figure8CDN(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 8: CDN ablation — semester TCO per student (extension of Figure 3)",
 		"students", "public $/st/mo", "public+CDN $/st/mo", "private $/st/mo", "cheapest")
 	populations := []int{200, 600, 2000, 5000, 20000}
+	batch := scenario.NewBatch(seed)
+	for _, n := range populations {
+		batch.AddFluid(fmt.Sprintf("public/%d", n), semester(seed, deploy.Public, n))
+		cfgCDN := semester(seed, deploy.Public, n)
+		cfgCDN.EnableCDN = true
+		batch.AddFluid(fmt.Sprintf("public-cdn/%d", n), cfgCDN)
+		batch.AddFluid(fmt.Sprintf("private/%d", n), semester(seed, deploy.Private, n))
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
 	var hitRatio float64
 	var crossover int
 	for _, n := range populations {
-		pub, err := scenario.FluidRun(semester(seed, deploy.Public, n))
-		if err != nil {
-			return nil, err
-		}
-		cfgCDN := semester(seed, deploy.Public, n)
-		cfgCDN.EnableCDN = true
-		pubCDN, err := scenario.FluidRun(cfgCDN)
-		if err != nil {
-			return nil, err
-		}
-		priv, err := scenario.FluidRun(semester(seed, deploy.Private, n))
-		if err != nil {
-			return nil, err
-		}
+		pub := runs.Fluid(fmt.Sprintf("public/%d", n))
+		pubCDN := runs.Fluid(fmt.Sprintf("public-cdn/%d", n))
+		priv := runs.Fluid(fmt.Sprintf("private/%d", n))
 		hitRatio = pubCDN.CDNHitRatio
 		costs := map[string]float64{
 			"public":     pub.CostPerStudentMonth(n),
@@ -97,7 +98,7 @@ func Figure8CDN(seed uint64) (*metrics.Table, error) {
 // all on-demand, the breakeven-optimal reserved mix, and all reserved,
 // over a standard semester — the "design decision worth ablating" from
 // DESIGN.md's public-cost section.
-func Table8PurchaseMix(seed uint64) (*metrics.Table, error) {
+func Table8PurchaseMix(seed uint64, _ int) (*metrics.Table, error) {
 	res, err := scenario.FluidRun(semester(seed, deploy.Public, collegeStudents))
 	if err != nil {
 		return nil, err
@@ -136,11 +137,11 @@ func costRates() cost.Rates { return cost.DefaultRates() }
 // crowd — the §IV.B "physical damage of the unit", at the worst possible
 // moment — and measures the user-visible damage for private and hybrid
 // deployments against undisturbed references.
-func Figure9HostFailure(seed uint64) (*metrics.Table, error) {
+func Figure9HostFailure(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 9: the server room dies mid-finals (§IV.B physical damage)",
 		"model", "killed jobs", "error rate", "p99", "note")
-	run := func(kind deploy.Kind, fail bool, note string) error {
+	baseCfg := func(kind deploy.Kind, fail bool) scenario.Config {
 		cfg := scenario.Config{
 			Seed:              seed,
 			Kind:              kind,
@@ -159,28 +160,34 @@ func Figure9HostFailure(seed uint64) (*metrics.Table, error) {
 			cfg.HostFailureAt = 90 * time.Minute
 			cfg.HostRecoveryAfter = time.Hour
 		}
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return err
-		}
+		return cfg
+	}
+	rows := []struct {
+		name string
+		kind deploy.Kind
+		fail bool
+		note string
+	}{
+		{"private-fail", deploy.Private, true, "loses its main host mid-exam"},
+		{"hybrid-fail", deploy.Hybrid, true, "loses a host; bursts to public"},
+		{"private-ref", deploy.Private, false, "undisturbed reference"},
+		{"public-ref", deploy.Public, false, "provider absorbs hardware loss"},
+	}
+	batch := scenario.NewBatch(seed)
+	for _, r := range rows {
+		batch.Add(r.name, baseCfg(r.kind, r.fail))
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		res := runs.Result(r.name)
 		t.AddRow(res.Kind.String(),
 			res.KilledJobs,
 			metrics.FmtPercent(res.ErrorRate()),
 			metrics.FmtMillis(res.Latency.P99()),
-			note)
-		return nil
-	}
-	if err := run(deploy.Private, true, "loses its main host mid-exam"); err != nil {
-		return nil, err
-	}
-	if err := run(deploy.Hybrid, true, "loses a host; bursts to public"); err != nil {
-		return nil, err
-	}
-	if err := run(deploy.Private, false, "undisturbed reference"); err != nil {
-		return nil, err
-	}
-	if err := run(deploy.Public, false, "provider absorbs hardware loss"); err != nil {
-		return nil, err
+			r.note)
 	}
 	t.AddNote("seed=%d; 10x exam crowd 1h-2h; host 0 fails at 1h30m, repaired at 2h30m; %d students",
 		seed, desStudents)

@@ -17,7 +17,7 @@ import (
 
 // Figure1Workload renders the workload generator's shape: the diurnal
 // arrival-rate curve (hourly) and the semester week multipliers.
-func Figure1Workload(seed uint64) (*metrics.Table, error) {
+func Figure1Workload(seed uint64, _ int) (*metrics.Table, error) {
 	gen, err := workload.NewGenerator(workload.Config{
 		Students:          collegeStudents,
 		ReqPerStudentHour: 50,
@@ -53,14 +53,19 @@ func Figure1Workload(seed uint64) (*metrics.Table, error) {
 
 // Figure2ExamSpike renders per-minute P95 latency through an exam flash
 // crowd for the three models (§IV.A scalability).
-func Figure2ExamSpike(seed uint64) (*metrics.Table, error) {
+func Figure2ExamSpike(seed uint64, workers int) (*metrics.Table, error) {
+	batch := scenario.NewBatch(seed)
+	for _, kind := range deploy.Kinds() {
+		batch.Add("exam/"+kind.String(), examDay(seed, kind, scenario.ScalerReactive))
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
 	series := make(map[deploy.Kind][]metrics.Point)
 	servers := make(map[deploy.Kind][]metrics.Point)
 	for _, kind := range deploy.Kinds() {
-		res, err := scenario.Run(examDay(seed, kind, scenario.ScalerReactive))
-		if err != nil {
-			return nil, err
-		}
+		res := runs.Result("exam/" + kind.String())
 		series[kind] = res.P95Series.Downsample(5 * time.Minute).Points()
 		servers[kind] = res.Servers.Downsample(5 * time.Minute).Points()
 	}
@@ -93,19 +98,28 @@ func Figure2ExamSpike(seed uint64) (*metrics.Table, error) {
 // Figure3CostCrossover sweeps institution size and reports monthly cost
 // per student per model — the paper's §V cost trade-off, with the
 // public/private crossover located.
-func Figure3CostCrossover(seed uint64) (*metrics.Table, error) {
+func Figure3CostCrossover(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 3: semester TCO per student vs institution size",
 		"students", "public $/st/mo", "private $/st/mo", "hybrid $/st/mo", "desktop $/st/mo", "cheapest")
 	populations := []int{200, 400, 600, 1000, 2000, 5000, 10000, 20000}
+	allKinds := []deploy.Kind{deploy.Public, deploy.Private, deploy.Hybrid, deploy.Desktop}
+	// 8 sizes x 4 models = 32 independent fluid runs: one job each.
+	batch := scenario.NewBatch(seed)
+	for _, n := range populations {
+		for _, kind := range allKinds {
+			batch.AddFluid(fmt.Sprintf("%d/%s", n, kind), semester(seed, kind, n))
+		}
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
 	var crossover int
 	for _, n := range populations {
 		costs := make(map[deploy.Kind]float64, 4)
-		for _, kind := range []deploy.Kind{deploy.Public, deploy.Private, deploy.Hybrid, deploy.Desktop} {
-			res, err := scenario.FluidRun(semester(seed, kind, n))
-			if err != nil {
-				return nil, err
-			}
+		for _, kind := range allKinds {
+			res := runs.Fluid(fmt.Sprintf("%d/%s", n, kind))
 			costs[kind] = res.CostPerStudentMonth(n)
 		}
 		cheapest := deploy.Public
@@ -134,15 +148,16 @@ func Figure3CostCrossover(seed uint64) (*metrics.Table, error) {
 // Figure4Utilization renders the §IV.B underutilization argument: weekly
 // private-fleet utilization vs the elastic fleet's size across a
 // semester.
-func Figure4Utilization(seed uint64) (*metrics.Table, error) {
-	priv, err := scenario.FluidRun(semester(seed, deploy.Private, collegeStudents))
+func Figure4Utilization(seed uint64, workers int) (*metrics.Table, error) {
+	runs, err := scenario.NewBatch(seed).
+		AddFluid("private-semester", semester(seed, deploy.Private, collegeStudents)).
+		AddFluid("public-semester", semester(seed, deploy.Public, collegeStudents)).
+		Run(workers)
 	if err != nil {
 		return nil, err
 	}
-	pub, err := scenario.FluidRun(semester(seed, deploy.Public, collegeStudents))
-	if err != nil {
-		return nil, err
-	}
+	priv := runs.Fluid("private-semester")
+	pub := runs.Fluid("public-semester")
 	week := 7 * 24 * time.Hour
 	privSeries := priv.Rate.Downsample(week).Points()
 	pubServers := pub.Servers.Downsample(week).Points()
@@ -180,8 +195,9 @@ func Figure4Utilization(seed uint64) (*metrics.Table, error) {
 
 // Figure5NetworkRisk sweeps last-mile reliability over a simulated week
 // and reports lost work and failed requests (§III risk 1).
-func Figure5NetworkRisk(seed uint64) (*metrics.Table, error) {
+func Figure5NetworkRisk(seed uint64, workers int) (*metrics.Table, error) {
 	const horizon = 7 * 24 * time.Hour
+	const trackedSessions = 100
 	t := metrics.NewTable(
 		"Figure 5: lost work vs last-mile reliability (public cloud, one week)",
 		"last-mile MTBF", "availability", "disconnects", "lost work /session/day", "failed requests")
@@ -191,44 +207,45 @@ func Figure5NetworkRisk(seed uint64) (*metrics.Table, error) {
 	}{
 		{"6h", 6}, {"12h", 12}, {"1d", 24}, {"2d", 48}, {"7d", 168}, {"30d", 720},
 	}
+	batch := scenario.NewBatch(seed)
 	for _, p := range profiles {
-		cfg := scenario.Config{
+		batch.Add("sweep-"+p.name, scenario.Config{
 			Seed:              seed,
 			Kind:              deploy.Public,
 			Students:          300,
 			ReqPerStudentHour: 15,
 			Duration:          horizon,
-			TrackedSessions:   100,
+			TrackedSessions:   trackedSessions,
 			Access: network.AccessProfile{
 				Name: "sweep-" + p.name, LatencyMean: 0.03, LatencySigma: 0.4,
 				Mbps: 10, MTBF: p.mtbf * 3600, MTTR: 1800,
 			},
-		}
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		perSessionDay := res.LostWork / time.Duration(cfg.TrackedSessions) / 7
+		})
+	}
+	// The on-premise LAN reference: immune to last-mile weather.
+	batch.Add("campus-lan", scenario.Config{
+		Seed:              seed,
+		Kind:              deploy.Private,
+		Students:          300,
+		ReqPerStudentHour: 15,
+		Duration:          horizon,
+		TrackedSessions:   trackedSessions,
+		Access:            network.CampusLAN,
+	})
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
+		res := runs.Result("sweep-" + p.name)
+		perSessionDay := res.LostWork / trackedSessions / 7
 		t.AddRow(p.name,
 			metrics.FmtPercent(res.NetAvailability),
 			res.Disconnects,
 			perSessionDay.Round(time.Second).String(),
 			metrics.FmtPercent(res.ErrorRate()))
 	}
-	// The on-premise LAN reference: immune to last-mile weather.
-	lan := scenario.Config{
-		Seed:              seed,
-		Kind:              deploy.Private,
-		Students:          300,
-		ReqPerStudentHour: 15,
-		Duration:          horizon,
-		TrackedSessions:   100,
-		Access:            network.CampusLAN,
-	}
-	res, err := scenario.Run(lan)
-	if err != nil {
-		return nil, err
-	}
+	res := runs.Result("campus-lan")
 	t.AddRow("campus LAN (private)", metrics.FmtPercent(res.NetAvailability),
 		res.Disconnects, "0s", metrics.FmtPercent(res.ErrorRate()))
 	t.AddNote("seed=%d; MTTR fixed at 30m; autosave every 5m bounds per-disconnect loss", seed)
@@ -238,15 +255,46 @@ func Figure5NetworkRisk(seed uint64) (*metrics.Table, error) {
 // Figure6Security sweeps the threat environment: breach exposure versus
 // shared-infrastructure attack surface, and data loss versus physical
 // damage rate (§III risk 2, §IV.B).
-func Figure6Security(seed uint64) (*metrics.Table, error) {
+func Figure6Security(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 6: security incidents over 10 simulated years (2000 students)",
 		"scenario", "model", "breaches", "sensitive exposures", "loss events", "TB lost")
 	horizon := 10 * 365 * 24 * time.Hour
-	run := func(label string, kind deploy.Kind, cfg security.Config) error {
+
+	// These are threat-model engine runs, not scenario.Run jobs, so they
+	// fan out through ForEach: each spec owns one row slot and builds its
+	// engine locally, keeping results independent of scheduling.
+	type spec struct {
+		label string
+		kind  deploy.Kind
+		cfg   security.Config
+	}
+	var specs []spec
+	for _, kind := range deploy.Kinds() {
+		specs = append(specs, spec{"baseline threat env", kind, security.ConfigFor(kind)})
+	}
+	// Hostile environment: 3x attack rate and double breach probability.
+	for _, kind := range deploy.Kinds() {
+		cfg := security.ConfigFor(kind)
+		cfg.AttackRatePerMonth *= 3
+		cfg.PublicBreachProb *= 2
+		specs = append(specs, spec{"hostile threat env", kind, cfg})
+	}
+	// Fragile campus: flood-prone server room, no offsite backup.
+	fragile := security.ConfigFor(deploy.Private)
+	fragile.PhysicalMTBFYears = 4
+	specs = append(specs, spec{"fragile server room", deploy.Private, fragile})
+	// Same room, with offsite backup.
+	backed := fragile
+	backed.OffsiteBackup = true
+	specs = append(specs, spec{"fragile room + offsite backup", deploy.Private, backed})
+
+	rows := make([][]any, len(specs))
+	err := scenario.ForEach(len(specs), workers, func(i int) error {
+		s := specs[i]
 		eng := sim.NewEngine(seed)
 		assets := lms.NewAssetStore(collegeStudents/25, collegeStudents)
-		switch kind {
+		switch s.kind {
 		case deploy.Public:
 			assets.PlaceAll(lms.OnPublic)
 		case deploy.Private:
@@ -254,7 +302,7 @@ func Figure6Security(seed uint64) (*metrics.Table, error) {
 		case deploy.Hybrid:
 			assets.PlaceSensitive(lms.OnPrivate, lms.OnPublic)
 		}
-		m, err := security.NewThreatModel(eng, eng.Stream("threat"), cfg, assets)
+		m, err := security.NewThreatModel(eng, eng.Stream("threat"), s.cfg, assets)
 		if err != nil {
 			return err
 		}
@@ -263,35 +311,15 @@ func Figure6Security(seed uint64) (*metrics.Table, error) {
 		if err := eng.Run(horizon); err != nil {
 			return err
 		}
-		t.AddRow(label, kind.String(), m.Breaches(), m.SensitiveExposures(),
-			m.DataLossEvents(), fmt.Sprintf("%.1f", m.BytesLost()/1e12))
+		rows[i] = []any{s.label, s.kind.String(), m.Breaches(), m.SensitiveExposures(),
+			m.DataLossEvents(), fmt.Sprintf("%.1f", m.BytesLost()/1e12)}
 		return nil
-	}
-	for _, kind := range deploy.Kinds() {
-		if err := run("baseline threat env", kind, security.ConfigFor(kind)); err != nil {
-			return nil, err
-		}
-	}
-	// Hostile environment: 3x attack rate and double breach probability.
-	for _, kind := range deploy.Kinds() {
-		cfg := security.ConfigFor(kind)
-		cfg.AttackRatePerMonth *= 3
-		cfg.PublicBreachProb *= 2
-		if err := run("hostile threat env", kind, cfg); err != nil {
-			return nil, err
-		}
-	}
-	// Fragile campus: flood-prone server room, no offsite backup.
-	fragile := security.ConfigFor(deploy.Private)
-	fragile.PhysicalMTBFYears = 4
-	if err := run("fragile server room", deploy.Private, fragile); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
-	// Same room, with offsite backup.
-	backed := fragile
-	backed.OffsiteBackup = true
-	if err := run("fragile room + offsite backup", deploy.Private, backed); err != nil {
-		return nil, err
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("seed=%d; exposures = sensitive assets touched by breaches; private never breaches publicly but can burn down", seed)
 	t.AddNote("counts are one 10-year realization; hybrid records more (harmless) breach events than public because attacks probe both locations")
@@ -303,7 +331,7 @@ func Figure6Security(seed uint64) (*metrics.Table, error) {
 // where each model's typical adoption lands on the curve: that position,
 // not the data footprint, is what makes public exits expensive and
 // hybrid exits tolerable.
-func Figure7Lockin(seed uint64) (*metrics.Table, error) {
+func Figure7Lockin(seed uint64, _ int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 7: cost to bring the system back in-house vs lock-in index",
 		"lock-in index", "re-engineering", "egress", "total", "calendar time", "typical for")

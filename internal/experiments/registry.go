@@ -13,8 +13,13 @@ type Experiment struct {
 	ID string
 	// Title is a human-readable one-liner.
 	Title string
-	// Run regenerates the artifact.
-	Run func(seed uint64) (*metrics.Table, error)
+	// Run regenerates the artifact. workers sizes the worker pool its
+	// independent scenario jobs fan out on (<= 0 means
+	// scenario.DefaultWorkers); the rendered table is byte-identical
+	// for every worker count, because each job's randomness is fixed at
+	// submission (rooted at its Config.Seed, set from the experiment
+	// seed) and results are collected in submission order.
+	Run func(seed uint64, workers int) (*metrics.Table, error)
 }
 
 // All returns every experiment in presentation order.

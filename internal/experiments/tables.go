@@ -16,23 +16,20 @@ import (
 
 // Table1Merits quantifies the paper's §III merits 1-6 of cloud-based
 // e-learning against the on-premise desktop baseline.
-func Table1Merits(seed uint64) (*metrics.Table, error) {
-	cloudFluid, err := scenario.FluidRun(semester(seed, deploy.Public, collegeStudents))
+func Table1Merits(seed uint64, workers int) (*metrics.Table, error) {
+	runs, err := scenario.NewBatch(seed).
+		AddFluid("cloud-semester", semester(seed, deploy.Public, collegeStudents)).
+		AddFluid("desktop-semester", semester(seed, deploy.Desktop, collegeStudents)).
+		Add("cloud-steady", steadyTeaching(seed, deploy.Public)).
+		Add("desktop-steady", steadyTeaching(seed, deploy.Desktop)).
+		Run(workers)
 	if err != nil {
 		return nil, err
 	}
-	deskFluid, err := scenario.FluidRun(semester(seed, deploy.Desktop, collegeStudents))
-	if err != nil {
-		return nil, err
-	}
-	cloudRun, err := scenario.Run(steadyTeaching(seed, deploy.Public))
-	if err != nil {
-		return nil, err
-	}
-	deskRun, err := scenario.Run(steadyTeaching(seed, deploy.Desktop))
-	if err != nil {
-		return nil, err
-	}
+	cloudFluid := runs.Fluid("cloud-semester")
+	deskFluid := runs.Fluid("desktop-semester")
+	cloudRun := runs.Result("cloud-steady")
+	deskRun := runs.Result("desktop-steady")
 
 	// §III.6 improbability: annual sensitive-asset risk.
 	cloudAssets := lms.NewAssetStore(collegeStudents/25, collegeStudents)
@@ -84,33 +81,35 @@ func Table1Merits(seed uint64) (*metrics.Table, error) {
 
 // Table2Risks quantifies the paper's §III risks: network dependence,
 // security exposure, and portability lock-in, per deployment model.
-func Table2Risks(seed uint64) (*metrics.Table, error) {
+func Table2Risks(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 2: cloud e-learning risks by deployment model (paper §III)",
 		"risk", "public", "private", "hybrid")
 
 	// Risk 1 — network: a week on flaky rural DSL (long enough that the
-	// MTBF-2d failure process actually fires).
-	lost := make(map[deploy.Kind]string)
-	offline := make(map[deploy.Kind]string)
+	// MTBF-2d failure process actually fires). One job per model.
+	const trackedSessions = 100
+	batch := scenario.NewBatch(seed)
 	for _, kind := range deploy.Kinds() {
-		cfg := scenario.Config{
+		batch.Add("rural-week/"+kind.String(), scenario.Config{
 			Seed:              seed,
 			Kind:              kind,
 			Students:          300,
 			ReqPerStudentHour: 15,
 			Duration:          7 * 24 * time.Hour,
 			Access:            network.RuralDSL,
-			TrackedSessions:   100,
-		}
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		perSession := time.Duration(0)
-		if n := cfg.TrackedSessions; n > 0 {
-			perSession = res.LostWork / time.Duration(n) / 7 // per day
-		}
+			TrackedSessions:   trackedSessions,
+		})
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	lost := make(map[deploy.Kind]string)
+	offline := make(map[deploy.Kind]string)
+	for _, kind := range deploy.Kinds() {
+		res := runs.Result("rural-week/" + kind.String())
+		perSession := res.LostWork / trackedSessions / 7 // per day
 		lost[kind] = perSession.Round(time.Second).String()
 		offline[kind] = metrics.FmtPercent(res.ErrorRate())
 	}
@@ -165,9 +164,10 @@ func Table2Risks(seed uint64) (*metrics.Table, error) {
 
 // Table3Matrix reproduces the paper's central artifact: the deployment
 // comparison matrix "articulated exhaustively" (§V), at college scale.
-func Table3Matrix(seed uint64) (*metrics.Table, error) {
+func Table3Matrix(seed uint64, workers int) (*metrics.Table, error) {
 	in, err := core.MeasureInputs(core.MeasureConfig{
 		Seed: seed, Students: collegeStudents, DESStudents: desStudents,
+		Workers: workers,
 	})
 	if err != nil {
 		return nil, err
@@ -194,7 +194,7 @@ func Table3Matrix(seed uint64) (*metrics.Table, error) {
 
 // Table4HybridAblation sweeps the hybrid "distribution of units" policy
 // (§IV.C): private share and pinning strictness, under an exam crowd.
-func Table4HybridAblation(seed uint64) (*metrics.Table, error) {
+func Table4HybridAblation(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 4: hybrid unit-distribution ablation under a 10x exam crowd (paper §IV.C)",
 		"policy", "p99 latency", "error rate", "pinning violations", "sensitive risk/yr")
@@ -210,14 +210,19 @@ func Table4HybridAblation(seed uint64) (*metrics.Table, error) {
 		{"relaxed pin, 50% private", 0.50, false},
 		{"relaxed pin, 25% private", 0.25, false},
 	}
+	batch := scenario.NewBatch(seed)
 	for _, v := range variants {
 		cfg := examDay(seed, deploy.Hybrid, scenario.ScalerReactive)
 		cfg.HybridPolicy = deploy.HybridPolicy{SensitivePrivate: true, PrivateBaseShare: v.share}
 		cfg.StrictPinning = v.strict
-		res, err := scenario.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		batch.Add(v.name, cfg)
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range variants {
+		res := runs.Result(v.name)
 		// Risk grows with the share of sensitive traffic that ever
 		// touches the public side: approximate by realized violations.
 		assets := lms.NewAssetStore(desStudents/25, desStudents)
@@ -245,18 +250,24 @@ func Table4HybridAblation(seed uint64) (*metrics.Table, error) {
 
 // Table5Autoscalers ablates elasticity policies on the exam crowd
 // (§III.2 improved performance / §IV.A quickest solution).
-func Table5Autoscalers(seed uint64) (*metrics.Table, error) {
+func Table5Autoscalers(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 5: autoscaler ablation under a 10x exam crowd (public model)",
 		"policy", "p95", "p99", "error rate", "peak servers", "VM-hours")
-	for _, sk := range []scenario.ScalerKind{
+	scalers := []scenario.ScalerKind{
 		scenario.ScalerFixed, scenario.ScalerReactive,
 		scenario.ScalerScheduled, scenario.ScalerPredictive,
-	} {
-		res, err := scenario.Run(examDay(seed, deploy.Public, sk))
-		if err != nil {
-			return nil, err
-		}
+	}
+	batch := scenario.NewBatch(seed)
+	for _, sk := range scalers {
+		batch.Add(sk.String(), examDay(seed, deploy.Public, sk))
+	}
+	runs, err := batch.Run(workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, sk := range scalers {
+		res := runs.Result(sk.String())
 		t.AddRow(sk.String(),
 			metrics.FmtMillis(res.Latency.P95()),
 			metrics.FmtMillis(res.Latency.P99()),
@@ -272,28 +283,40 @@ func Table5Autoscalers(seed uint64) (*metrics.Table, error) {
 // Table6Advisor reproduces §II's "customers can choose one of cloud
 // deployment models, depending on their requirements": rankings per
 // institution profile, each measured at its own scale.
-func Table6Advisor(seed uint64) (*metrics.Table, error) {
+func Table6Advisor(seed uint64, workers int) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 6: advisor recommendations per institution profile",
 		"profile", "students", "1st", "2nd", "3rd", "top score")
-	for _, p := range []core.Profile{core.RuralSchool, core.MidCollege, core.NationalPlatform} {
+	profiles := []core.Profile{core.RuralSchool, core.MidCollege, core.NationalPlatform}
+	// Each profile is measured at its own scale — independent work, so
+	// fan the profiles out and let each measurement batch internally,
+	// splitting the worker budget between the two levels rather than
+	// multiplying it.
+	outer, inner := scenario.SplitBudget(workers, len(profiles))
+	recs := make([][]core.Recommendation, len(profiles))
+	err := scenario.ForEach(len(profiles), outer, func(i int) error {
+		p := profiles[i]
 		in, err := core.MeasureInputs(core.MeasureConfig{
 			Seed: seed, Students: p.Students, DESStudents: min(p.Students, desStudents),
+			Workers: inner,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sc, err := core.BuildScorecard(in)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		recs, err := sc.Recommend(p)
-		if err != nil {
-			return nil, err
-		}
+		recs[i], err = sc.Recommend(p)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range profiles {
 		t.AddRow(p.Name, p.Students,
-			recs[0].Kind.String(), recs[1].Kind.String(), recs[2].Kind.String(),
-			fmt.Sprintf("%.1f", recs[0].Total))
+			recs[i][0].Kind.String(), recs[i][1].Kind.String(), recs[i][2].Kind.String(),
+			fmt.Sprintf("%.1f", recs[i][0].Total))
 	}
 	t.AddNote("seed=%d; each profile measured at its own scale (cost ordering is scale-dependent)", seed)
 	return t, nil

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"elearncloud/internal/sim"
+)
+
+// This file is the deterministic parallel batch runner. Experiments
+// declare their scenario sets as named jobs and a worker pool fans them
+// out across goroutines. Determinism contract:
+//
+//   - A job's randomness is fixed when the job is declared: its RNG
+//     streams are rooted at its own Config.Seed, which the caller sets
+//     explicitly or, when left zero, is derived from the batch seed and
+//     the job name via sim.SeedFor. Nothing about scheduling — worker
+//     identity, worker count, completion order — ever reaches a job's
+//     RNG. (Two jobs given identical configs and the same explicit seed
+//     are identical runs; distinct names decorrelate only derived
+//     seeds.)
+//   - Jobs share no mutable state: every Run/FluidRun builds its own
+//     engine, fleets, topology and metrics.
+//   - Results are collected in submission order and errors propagate
+//     first-submitted-first, regardless of which worker ran a job or in
+//     what order jobs finished.
+//
+// Together these make the batch output byte-identical to the serial path
+// for any worker count.
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// SeedFor derives the RNG seed for a named job from a batch seed; see
+// sim.SeedFor for the derivation rule.
+func SeedFor(seed uint64, name string) uint64 { return sim.SeedFor(seed, name) }
+
+// SplitBudget divides a total worker budget between an outer pool over n
+// tasks and the inner pool each task runs on, so nested fan-out keeps
+// total concurrency near workers instead of multiplying the two levels.
+// workers <= 0 means DefaultWorkers. Both returns are at least 1 and
+// outer never exceeds n. inner uses ceiling division so no part of the
+// budget is stranded when workers doesn't divide evenly; total
+// concurrency may overshoot workers by at most outer-1.
+func SplitBudget(workers, n int) (outer, inner int) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	outer = workers
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	inner = (workers + outer - 1) / outer
+	return outer, inner
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers
+// goroutines and returns the first error in index order (not completion
+// order). With workers <= 0 it uses DefaultWorkers; with workers == 1 it
+// runs inline, which is the reference serial path. After a failure at
+// index i, only indices greater than i may be skipped — lower indices
+// always run — so the reported error is the same one the serial path
+// stops at, for every worker count. fn must confine its writes to
+// per-index state (typically slot i of a results slice).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = fn(i); errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}
+	var (
+		wg        sync.WaitGroup
+		minFailed atomic.Int64
+		idx       = make(chan int)
+	)
+	minFailed.Store(int64(n)) // sentinel: nothing failed yet
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// minFailed only ever decreases, so a skipped index is
+				// always above the final minimum: the first-by-index
+				// failure is guaranteed to have actually run.
+				if int64(i) > minFailed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						cur := minFailed.Load()
+						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Job is one named, independent scenario execution within a batch.
+type Job struct {
+	// Name identifies the job; names must be unique within a batch
+	// because they key result lookup and seed derivation.
+	Name string
+	// Cfg is the scenario under test. A zero Cfg.Seed is replaced by
+	// SeedFor(batch seed, Name) when the job runs through a Batch.
+	Cfg Config
+	// Fluid selects the flow-level FluidRun instead of the request-level
+	// Run.
+	Fluid bool
+}
+
+// JobResult pairs a job name with its outcome. Exactly one of Res and
+// Fluid is non-nil, matching the job's fidelity.
+type JobResult struct {
+	Name  string
+	Res   *Result
+	Fluid *FluidResult
+}
+
+// RunAll executes jobs on a pool of workers goroutines and returns their
+// results in submission order. If any job fails, the error of the
+// first-submitted failing job is returned (wrapped with its name) and the
+// results are discarded. Worker count never affects the results — only
+// how fast they arrive.
+func RunAll(jobs []Job, workers int) ([]JobResult, error) {
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Name == "" {
+			return nil, fmt.Errorf("scenario: batch job with empty name")
+		}
+		if seen[j.Name] {
+			return nil, fmt.Errorf("scenario: duplicate batch job %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	out := make([]JobResult, len(jobs))
+	err := ForEach(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		out[i].Name = j.Name
+		if j.Fluid {
+			r, err := FluidRun(j.Cfg)
+			if err != nil {
+				return fmt.Errorf("job %q: %w", j.Name, err)
+			}
+			out[i].Fluid = r
+			return nil
+		}
+		r, err := Run(j.Cfg)
+		if err != nil {
+			return fmt.Errorf("job %q: %w", j.Name, err)
+		}
+		out[i].Res = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Batch accumulates named jobs and runs them through RunAll. The zero
+// value is not usable; construct with NewBatch.
+type Batch struct {
+	seed uint64
+	jobs []Job
+}
+
+// NewBatch returns an empty batch. seed is the root for derived job
+// seeds: jobs added with a zero Config.Seed run with
+// SeedFor(seed, job name).
+func NewBatch(seed uint64) *Batch { return &Batch{seed: seed} }
+
+// Add queues a request-level (DES) job and returns the batch for
+// chaining.
+func (b *Batch) Add(name string, cfg Config) *Batch {
+	return b.add(name, cfg, false)
+}
+
+// AddFluid queues a flow-level job and returns the batch for chaining.
+func (b *Batch) AddFluid(name string, cfg Config) *Batch {
+	return b.add(name, cfg, true)
+}
+
+func (b *Batch) add(name string, cfg Config, fluid bool) *Batch {
+	if cfg.Seed == 0 {
+		cfg.Seed = SeedFor(b.seed, name)
+	}
+	b.jobs = append(b.jobs, Job{Name: name, Cfg: cfg, Fluid: fluid})
+	return b
+}
+
+// Len returns the number of queued jobs.
+func (b *Batch) Len() int { return len(b.jobs) }
+
+// Run executes every queued job on workers goroutines (<= 0 means
+// DefaultWorkers) and returns the collected results.
+func (b *Batch) Run(workers int) (*BatchResults, error) {
+	ordered, err := RunAll(b.jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]int, len(ordered))
+	for i, r := range ordered {
+		byName[r.Name] = i
+	}
+	return &BatchResults{ordered: ordered, byName: byName}, nil
+}
+
+// BatchResults holds a batch's outcomes, addressable by submission order
+// or by job name.
+type BatchResults struct {
+	ordered []JobResult
+	byName  map[string]int
+}
+
+// All returns every result in submission order.
+func (r *BatchResults) All() []JobResult { return r.ordered }
+
+// Result returns the request-level result of the named job. It panics if
+// the job does not exist or was a fluid job — both are programming
+// errors in the experiment declaring the batch.
+func (r *BatchResults) Result(name string) *Result {
+	res := r.lookup(name)
+	if res.Res == nil {
+		panic(fmt.Sprintf("scenario: batch job %q is fluid, not request-level", name))
+	}
+	return res.Res
+}
+
+// Fluid returns the flow-level result of the named job. It panics if the
+// job does not exist or was a request-level job.
+func (r *BatchResults) Fluid(name string) *FluidResult {
+	res := r.lookup(name)
+	if res.Fluid == nil {
+		panic(fmt.Sprintf("scenario: batch job %q is request-level, not fluid", name))
+	}
+	return res.Fluid
+}
+
+func (r *BatchResults) lookup(name string) *JobResult {
+	i, ok := r.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: no batch job named %q", name))
+	}
+	return &r.ordered[i]
+}

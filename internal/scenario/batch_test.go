@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/workload"
+)
+
+// smallCfg is a fast request-level scenario for batch tests.
+func smallCfg(seed uint64, kind deploy.Kind) Config {
+	return Config{
+		Seed:              seed,
+		Kind:              kind,
+		Students:          60,
+		ReqPerStudentHour: 20,
+		Duration:          30 * time.Minute,
+		Diurnal:           workload.FlatDiurnal(),
+	}
+}
+
+// fingerprint reduces a Result to a string that captures every field an
+// experiment renders, so byte-equality of fingerprints means
+// byte-equality of any table built from the result.
+func fingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind=%v scaler=%v served=%d rejected=%d offline=%d viol=%d",
+		r.Kind, r.Scaler, r.Served, r.Rejected, r.Offline, r.PolicyViolations)
+	fmt.Fprintf(&b, " p50=%v p95=%v p99=%v", r.Latency.P50(), r.Latency.P95(), r.Latency.P99())
+	fmt.Fprintf(&b, " peak=%d vmpub=%v vmpriv=%v egress=%v cost=%v",
+		r.PeakServers, r.VMHoursPublic, r.VMHoursPrivate, r.EgressGB, r.Cost.Total())
+	for _, p := range r.Servers.Points() {
+		fmt.Fprintf(&b, " s(%v)=%v", p.At, p.Value)
+	}
+	for _, p := range r.P95Series.Points() {
+		fmt.Fprintf(&b, " p(%v)=%v", p.At, p.Value)
+	}
+	return b.String()
+}
+
+// TestRunAllWorkerCountInvariant is the heart of the determinism
+// contract: the same jobs produce byte-identical results whether run
+// serially or on a pool, in every collection slot.
+func TestRunAllWorkerCountInvariant(t *testing.T) {
+	t.Parallel()
+	jobs := []Job{
+		{Name: "public", Cfg: smallCfg(11, deploy.Public)},
+		{Name: "private", Cfg: smallCfg(11, deploy.Private)},
+		{Name: "hybrid", Cfg: smallCfg(11, deploy.Hybrid)},
+		{Name: "public-fluid", Cfg: smallCfg(11, deploy.Public), Fluid: true},
+		{Name: "desktop", Cfg: smallCfg(11, deploy.Desktop)},
+	}
+	serial, err := RunAll(jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := RunAll(jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Name != serial[i].Name {
+				t.Fatalf("workers=%d: slot %d holds %q, want %q (submission order broken)",
+					workers, i, par[i].Name, serial[i].Name)
+			}
+			if serial[i].Res != nil {
+				got, want := fingerprint(par[i].Res), fingerprint(serial[i].Res)
+				if got != want {
+					t.Fatalf("workers=%d job %q diverged:\n got %s\nwant %s",
+						workers, serial[i].Name, got, want)
+				}
+			}
+			if serial[i].Fluid != nil {
+				got := fmt.Sprintf("%v %v %v", par[i].Fluid.VMHoursPublic,
+					par[i].Fluid.Cost.Total(), par[i].Fluid.PeakServers)
+				want := fmt.Sprintf("%v %v %v", serial[i].Fluid.VMHoursPublic,
+					serial[i].Fluid.Cost.Total(), serial[i].Fluid.PeakServers)
+				if got != want {
+					t.Fatalf("workers=%d fluid job %q diverged: %s vs %s",
+						workers, serial[i].Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllFirstErrorWins: the reported error is the first-submitted
+// failure, not whichever worker failed first.
+func TestRunAllFirstErrorWins(t *testing.T) {
+	t.Parallel()
+	bad := smallCfg(11, deploy.Public)
+	bad.Students = 0 // invalid: Run rejects it
+	jobs := []Job{
+		{Name: "ok-0", Cfg: smallCfg(11, deploy.Public)},
+		{Name: "bad-1", Cfg: bad},
+		{Name: "ok-2", Cfg: smallCfg(11, deploy.Private)},
+		{Name: "bad-3", Cfg: bad},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunAll(jobs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: invalid job accepted", workers)
+		}
+		if !strings.Contains(err.Error(), `"bad-1"`) {
+			t.Fatalf("workers=%d: err = %v, want first-submitted job bad-1", workers, err)
+		}
+	}
+}
+
+// TestRunAllRejectsBadNames: empty and duplicate names break result
+// addressing and seed derivation, so the batch refuses them up front.
+func TestRunAllRejectsBadNames(t *testing.T) {
+	t.Parallel()
+	if _, err := RunAll([]Job{{Name: "", Cfg: smallCfg(1, deploy.Public)}}, 1); err == nil {
+		t.Fatal("empty job name accepted")
+	}
+	dup := []Job{
+		{Name: "x", Cfg: smallCfg(1, deploy.Public)},
+		{Name: "x", Cfg: smallCfg(1, deploy.Private)},
+	}
+	if _, err := RunAll(dup, 4); err == nil {
+		t.Fatal("duplicate job name accepted")
+	}
+}
+
+// TestBatchSeedDerivation: jobs added without a seed get one derived
+// from (batch seed, job name); explicit seeds are left alone.
+func TestBatchSeedDerivation(t *testing.T) {
+	t.Parallel()
+	cfg := smallCfg(0, deploy.Public) // zero seed: derive
+	b := NewBatch(7).Add("a", cfg).Add("b", cfg)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got, want := b.jobs[0].Cfg.Seed, SeedFor(7, "a"); got != want {
+		t.Fatalf("derived seed = %d, want SeedFor(7, a) = %d", got, want)
+	}
+	if b.jobs[0].Cfg.Seed == b.jobs[1].Cfg.Seed {
+		t.Fatal("distinct job names derived the same seed")
+	}
+	explicit := smallCfg(42, deploy.Public)
+	b2 := NewBatch(7).Add("a", explicit)
+	if b2.jobs[0].Cfg.Seed != 42 {
+		t.Fatalf("explicit seed overwritten: %d", b2.jobs[0].Cfg.Seed)
+	}
+}
+
+// TestBatchResultLookup: results are reachable by name with the right
+// fidelity, and misuse panics loudly.
+func TestBatchResultLookup(t *testing.T) {
+	t.Parallel()
+	b := NewBatch(11).
+		Add("des", smallCfg(11, deploy.Public)).
+		AddFluid("fluid", smallCfg(11, deploy.Public))
+	res, err := b.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result("des").Served == 0 {
+		t.Fatal("DES job served nothing")
+	}
+	if res.Fluid("fluid").Cost.Total() <= 0 {
+		t.Fatal("fluid job billed nothing")
+	}
+	if len(res.All()) != 2 || res.All()[0].Name != "des" {
+		t.Fatalf("All() order wrong: %+v", res.All())
+	}
+	expectPanic(t, func() { res.Result("missing") })
+	expectPanic(t, func() { res.Result("fluid") })
+	expectPanic(t, func() { res.Fluid("des") })
+}
+
+// TestSplitBudget: the two pool levels share the budget instead of
+// multiplying it, and degenerate inputs stay sane.
+func TestSplitBudget(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		workers, n, outer, inner int
+	}{
+		{1, 17, 1, 1},
+		{4, 17, 4, 1},
+		{64, 17, 17, 4}, // ceil(64/17): don't strand budget on uneven splits
+		{32, 17, 17, 2}, // floor would leave 15 of 32 workers idle
+		{4, 3, 3, 2},
+		{8, 1, 1, 8},
+		{3, 0, 1, 3},
+	}
+	for _, c := range cases {
+		outer, inner := SplitBudget(c.workers, c.n)
+		if outer != c.outer || inner != c.inner {
+			t.Errorf("SplitBudget(%d, %d) = (%d, %d), want (%d, %d)",
+				c.workers, c.n, outer, inner, c.outer, c.inner)
+		}
+	}
+	// workers <= 0 falls back to DefaultWorkers.
+	outer, inner := SplitBudget(0, 2)
+	if outer < 1 || inner < 1 {
+		t.Fatalf("SplitBudget(0, 2) = (%d, %d)", outer, inner)
+	}
+}
+
+func expectPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestForEachSkipsAfterFailure: remaining indices are abandoned once a
+// job fails, but the first error by index still wins.
+func TestForEachSkipsAfterFailure(t *testing.T) {
+	t.Parallel()
+	var ran [8]bool
+	err := ForEach(8, 1, func(i int) error {
+		ran[i] = true
+		if i == 2 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom at 2") {
+		t.Fatalf("err = %v", err)
+	}
+	if ran[3] || ran[7] {
+		t.Fatal("serial ForEach kept running after a failure")
+	}
+	if err := ForEach(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+		t.Fatalf("empty ForEach returned %v", err)
+	}
+}

@@ -31,6 +31,22 @@ func (r *RNG) Stream(name string) *RNG {
 	return NewRNG(r.state ^ h ^ 0x2545f4914f6cdd1d)
 }
 
+// SeedFor derives an independent seed from a parent seed and a name. It
+// is the standalone form of the (seed, name) stream-derivation rule that
+// RNG.Stream applies inside an engine: the same (seed, name) pair always
+// yields the same derived seed, and distinct names yield decorrelated
+// seeds. Batch runners use it to give each named job its own RNG root so
+// results depend only on (seed, job name) — never on worker count,
+// scheduling, or completion order.
+func SeedFor(seed uint64, name string) uint64 {
+	// xor the name hash into the seed, then run one splitmix64 round so
+	// related (seed, name) pairs land far apart.
+	z := seed ^ fnv64(name) ^ 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // fnv64 is the FNV-1a hash, inlined to avoid an import cycle with hash/fnv
 // allocations in hot paths.
 func fnv64(s string) uint64 {

@@ -90,6 +90,7 @@ type Engine struct {
 	nextSeq uint64
 	rng     *RNG
 	stopped bool
+	drained bool
 	fired   uint64
 }
 
@@ -171,8 +172,13 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue drains, the virtual clock passes
 // horizon, or Stop is called. A zero horizon means "no horizon" (run until
 // the queue drains). It returns ErrStopped if halted by Stop.
+//
+// When Run returns nil the simulation either drained its queue or hit the
+// horizon with future-dated events still pending; Drained distinguishes
+// the two.
 func (e *Engine) Run(horizon Time) error {
 	e.stopped = false
+	e.drained = false
 	for len(e.queue) > 0 {
 		if e.stopped {
 			return ErrStopped
@@ -184,11 +190,20 @@ func (e *Engine) Run(horizon Time) error {
 		}
 		e.Step()
 	}
+	e.drained = true
 	if horizon > 0 && e.now < horizon {
 		e.now = horizon
 	}
 	return nil
 }
+
+// Drained reports whether the most recent Run (or RunUntil) returned
+// because the event queue emptied, as opposed to stopping at the horizon
+// with future-dated events still queued or being halted by Stop. It is
+// false before the first Run. Note that Pending alone cannot distinguish
+// the cases: a periodic Every ticker keeps the queue non-empty forever,
+// and a queue may also drain exactly at the horizon.
+func (e *Engine) Drained() bool { return e.drained }
 
 // RunUntil is shorthand for Run with an absolute horizon; it always leaves
 // the clock at exactly horizon unless stopped early.
