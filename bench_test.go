@@ -1,11 +1,12 @@
 // Package elearncloud_test is the reproduction's benchmark harness: one
-// benchmark per table and figure in DESIGN.md's experiment index, each
+// benchmark per table and figure in ARCHITECTURE.md's experiment index, each
 // printing the regenerated artifact, plus micro-benchmarks of the hot
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
 //
-// and compare the printed tables against EXPERIMENTS.md.
+// and compare the printed tables against a previous run (or regenerate
+// them with cmd/elbench; the artifacts are deterministic per seed).
 package elearncloud_test
 
 import (
@@ -31,9 +32,9 @@ const benchSeed = 1
 var printOnce sync.Map
 
 // runExperiment executes one registered experiment per iteration and
-// prints its table a single time per process. Experiments run with the
-// default worker pool (one per CPU); their artifacts are byte-identical
-// to a serial run.
+// prints its table a single time per process. Experiments run with a
+// one-off default worker pool (one worker per CPU); their artifacts are
+// byte-identical to a serial run.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	exp, err := experiments.Find(id)
@@ -42,7 +43,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	var tbl *metrics.Table
 	for i := 0; i < b.N; i++ {
-		tbl, err = exp.Run(benchSeed, 0)
+		tbl, err = exp.Run(benchSeed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
-// --- one benchmark per table/figure (DESIGN.md experiment index) -------
+// --- one benchmark per table/figure (ARCHITECTURE.md experiment index) --
 
 func BenchmarkTable1Merits(b *testing.B)         { runExperiment(b, "table1") }
 func BenchmarkTable2Risks(b *testing.B)          { runExperiment(b, "table2") }
@@ -68,7 +69,7 @@ func BenchmarkFigure5NetworkRisk(b *testing.B)   { runExperiment(b, "figure5") }
 func BenchmarkFigure6Security(b *testing.B)      { runExperiment(b, "figure6") }
 func BenchmarkFigure7Lockin(b *testing.B)        { runExperiment(b, "figure7") }
 
-// Extension experiments (see DESIGN.md):
+// Extension experiments (see ARCHITECTURE.md):
 func BenchmarkTable7Federation(b *testing.B)   { runExperiment(b, "table7") }
 func BenchmarkTable8PurchaseMix(b *testing.B)  { runExperiment(b, "table8") }
 func BenchmarkFigure8CDN(b *testing.B)         { runExperiment(b, "figure8") }

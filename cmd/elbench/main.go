@@ -1,23 +1,25 @@
 // Command elbench regenerates every table and figure of the reproduction
-// (DESIGN.md experiment index) and prints them to stdout.
+// (see ARCHITECTURE.md's experiment index) and prints them to stdout.
 //
 // Usage:
 //
 //	elbench [-seed N] [-id table3] [-csv] [-parallel N]
 //
 // With -id, only the named experiment runs; with -csv the table is
-// emitted as CSV instead of aligned text. -parallel is the total worker
-// budget, split between the pool across experiments and each
-// experiment's internal scenario batch (default: one worker per CPU).
-// Output is byte-identical for every -parallel value: experiments print
-// in registry order, each scenario job's randomness is fixed at
-// submission by its config and seed, and batch results are collected in
-// submission order.
+// emitted as CSV instead of aligned text. -parallel is a true global
+// concurrency cap: one work-conserving scenario.Pool is shared by the
+// across-experiments loop and every experiment's internal scenario
+// batch, so any job from any experiment claims a core the moment one
+// frees (default: one worker per CPU). Output is byte-identical for
+// every -parallel value: experiments print in registry order, each
+// scenario job's randomness is fixed at submission by its config and
+// seed, and batch results are collected in submission order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"elearncloud/internal/experiments"
@@ -26,19 +28,19 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "elbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	id := fs.String("id", "", "run only this experiment id (e.g. table3, figure5)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	parallel := fs.Int("parallel", scenario.DefaultWorkers(),
-		"worker pool size across and within experiments (results are identical for any value)")
+		"global worker cap shared across and within experiments (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,15 +62,17 @@ func run(args []string) error {
 		list = experiments.All()
 	}
 
-	// Regenerate every artifact on the pool, then print in registry
-	// order — the parallel output must be indistinguishable from the
-	// serial one. The -parallel budget is split between the pool across
-	// experiments and each experiment's internal batch, so total
-	// concurrency stays near N instead of N².
-	outer, inner := scenario.SplitBudget(*parallel, len(list))
+	// Regenerate every artifact on one shared pool, then print in
+	// registry order — the parallel output must be indistinguishable
+	// from the serial one. The same pool is threaded into every
+	// experiment's internal batch, so the -parallel tokens span both
+	// nesting levels: when the across-experiments loop drains (e.g.
+	// through figure3's 32-job tail), its freed cores go straight to
+	// whichever inner batches still hold work.
+	pool := scenario.NewPool(*parallel)
 	tables := make([]*metrics.Table, len(list))
-	err := scenario.ForEach(len(list), outer, func(i int) error {
-		tbl, err := list[i].Run(*seed, inner)
+	err := pool.ForEach(len(list), func(i int) error {
+		tbl, err := list[i].Run(*seed, pool)
 		if err != nil {
 			return fmt.Errorf("%s: %w", list[i].ID, err)
 		}
@@ -81,9 +85,9 @@ func run(args []string) error {
 
 	for _, tbl := range tables {
 		if *csv {
-			fmt.Print(tbl.CSV())
+			fmt.Fprint(w, tbl.CSV())
 		} else {
-			fmt.Println(tbl.String())
+			fmt.Fprintln(w, tbl.String())
 		}
 	}
 	return nil

@@ -1,46 +1,80 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"testing"
+)
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-id", "table99"}); err == nil {
+	if err := run([]string{"-id", "table99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-bogus"}); err == nil {
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }
 
 func TestRunSingleExperimentText(t *testing.T) {
 	// figure7 is analytic and fast.
-	if err := run([]string{"-id", "figure7", "-seed", "2"}); err != nil {
+	if err := run([]string{"-id", "figure7", "-seed", "2"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSingleExperimentCSV(t *testing.T) {
-	if err := run([]string{"-id", "table7", "-csv"}); err != nil {
+	if err := run([]string{"-id", "table7", "-csv"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsSeedZero(t *testing.T) {
 	// Seed 0 is the batch runner's derive sentinel; the CLI refuses it.
-	if err := run([]string{"-id", "figure7", "-seed", "0"}); err == nil {
+	if err := run([]string{"-id", "figure7", "-seed", "0"}, io.Discard); err == nil {
 		t.Fatal("seed 0 accepted")
 	}
 }
 
 func TestRunParallelFlag(t *testing.T) {
 	// Analytic experiment through an oversized pool: worker count must
-	// never affect success (or, per the determinism tests, output).
-	if err := run([]string{"-id", "figure7", "-parallel", "8"}); err != nil {
+	// never affect success (or, per TestRunParallelByteIdentity, output).
+	if err := run([]string{"-id", "figure7", "-parallel", "8"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-id", "figure1", "-parallel", "1"}); err != nil {
+	if err := run([]string{"-id", "figure1", "-parallel", "1"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunParallelByteIdentity is the CLI-level determinism gate: the
+// exact bytes elbench emits must not depend on -parallel. The -id
+// filter keeps the check affordable in CI — table5 exercises a real
+// DES batch through the shared pool; the multi-experiment shared-pool
+// case is pinned by TestSharedPoolDeterminism in internal/experiments,
+// and the full 17-artifact identity was verified manually via cmp.
+func TestRunParallelByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a DES experiment three times; skipped in -short mode")
+	}
+	render := func(parallel string) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := run([]string{"-id", "table5", "-parallel", parallel}, &buf); err != nil {
+			t.Fatalf("-parallel %s: %v", parallel, err)
+		}
+		return buf.String()
+	}
+	serial := render("1")
+	if serial == "" {
+		t.Fatal("empty artifact")
+	}
+	for _, parallel := range []string{"4", "16"} {
+		if got := render(parallel); got != serial {
+			t.Errorf("-parallel %s output differs from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				parallel, serial, got)
+		}
 	}
 }

@@ -46,10 +46,12 @@ type MeasureConfig struct {
 	DESStudents int
 	// ExamMult is the flash-crowd multiplier (default 10).
 	ExamMult float64
-	// Workers sizes the pool the component simulations fan out on
-	// (<= 0 means scenario.DefaultWorkers). Results are identical for
-	// every worker count.
-	Workers int
+	// Pool is the shared worker pool the component simulations fan out
+	// on. Passing the caller's pool keeps nested measurement batches
+	// work-conserving: the nine component jobs claim any token the
+	// outer level frees. nil means a one-off scenario.DefaultWorkers
+	// pool. Results are identical for every pool.
+	Pool *scenario.Pool
 }
 
 func (c *MeasureConfig) defaults() {
@@ -119,7 +121,7 @@ func MeasureInputs(cfg MeasureConfig) (*Inputs, error) {
 			}},
 		})
 	}
-	runs, err := batch.Run(cfg.Workers)
+	runs, err := batch.RunOn(cfg.Pool)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

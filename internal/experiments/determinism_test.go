@@ -2,15 +2,17 @@ package experiments
 
 import (
 	"testing"
+
+	"elearncloud/internal/scenario"
 )
 
 // TestCrossModeDeterminism is the cross-mode regression test for the
-// batch runner's contract: for a fixed seed, the serial path
-// (workers=1) and the parallel batch path (workers=4) must render
-// byte-identical artifacts, because every scenario job's RNG streams
-// derive from (seed, job name) and results are collected in submission
-// order. It covers one multi-fidelity table (table1), one DES ablation
-// (table5) and one time-series figure (figure2).
+// batch runner's contract: for a fixed seed, the serial path (a
+// one-worker pool) and the parallel path (a four-worker pool) must
+// render byte-identical artifacts, because every scenario job's RNG
+// streams derive from (seed, job name) and results are collected in
+// submission order. It covers one multi-fidelity table (table1), one
+// DES ablation (table5) and one time-series figure (figure2).
 func TestCrossModeDeterminism(t *testing.T) {
 	t.Parallel()
 	if testing.Short() {
@@ -25,11 +27,11 @@ func TestCrossModeDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			serial, err := e.Run(seed, 1)
+			serial, err := e.Run(seed, scenario.NewPool(1))
 			if err != nil {
 				t.Fatalf("workers=1: %v", err)
 			}
-			parallel, err := e.Run(seed, 4)
+			parallel, err := e.Run(seed, scenario.NewPool(4))
 			if err != nil {
 				t.Fatalf("workers=4: %v", err)
 			}
@@ -40,5 +42,53 @@ func TestCrossModeDeterminism(t *testing.T) {
 				t.Errorf("%s CSV differs between workers=1 and workers=4", id)
 			}
 		})
+	}
+}
+
+// TestSharedPoolDeterminism pins the tentpole property down one level
+// up: when ONE pool spans both the across-experiments loop and every
+// experiment's internal batch — exactly how cmd/elbench runs — the
+// rendered artifacts must still be byte-identical to the serial path.
+// Sharing tokens across nesting levels may change when a job starts,
+// never its RNG or its result slot. table6 is the deepest nesting in
+// the registry (profile loop → MeasureInputs batch), so it rides along
+// with a flat DES experiment.
+func TestSharedPoolDeterminism(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("runs two experiments three times; skipped in -short mode")
+	}
+	const seed = 11
+	ids := []string{"table5", "table6"}
+	render := func(workers int) []string {
+		t.Helper()
+		pool := scenario.NewPool(workers)
+		out := make([]string, len(ids))
+		err := pool.ForEach(len(ids), func(i int) error {
+			e, err := Find(ids[i])
+			if err != nil {
+				return err
+			}
+			tbl, err := e.Run(seed, pool)
+			if err != nil {
+				return err
+			}
+			out[i] = tbl.String() + "\n" + tbl.CSV()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial := render(1)
+	for _, workers := range []int{4, 16} {
+		got := render(workers)
+		for i := range ids {
+			if got[i] != serial[i] {
+				t.Errorf("%s differs between a shared %d-worker pool and the serial path:\n--- serial ---\n%s\n--- shared pool ---\n%s",
+					ids[i], workers, serial[i], got[i])
+			}
+		}
 	}
 }

@@ -1,0 +1,19 @@
+// Package experiments regenerates every table and figure of the
+// reproduction — the experiment index in ARCHITECTURE.md. Each function
+// is deterministic given its seed, returns a rendered metrics.Table, and
+// is invoked both by cmd/elbench and by the root-level benchmark
+// harness.
+//
+// The paper itself prints no tables or figures; this package defines the
+// canonical set — one experiment per qualitative claim in §III-§V, plus
+// extension experiments for questions the paper raises but does not
+// answer.
+//
+// Every experiment takes a *scenario.Pool and runs its independent
+// scenario jobs on it. cmd/elbench threads one shared pool through the
+// across-experiments loop and every experiment here, so the -parallel
+// worker budget is a single global cap rather than a static split:
+// cores freed when one level drains are claimed by whichever batch
+// still holds work. The rendered artifacts are byte-identical for every
+// pool, pinned by TestCrossModeDeterminism and TestSharedPoolDeterminism.
+package experiments

@@ -1,11 +1,7 @@
-// Package experiments regenerates every table and figure of the
-// reproduction (see DESIGN.md's experiment index). Each function is
-// deterministic given its seed, returns a rendered metrics.Table, and is
-// invoked both by cmd/elbench and by the root-level benchmark harness.
-//
-// The paper itself prints no tables or figures; this package defines the
-// canonical set — one experiment per qualitative claim in §III-§V.
 package experiments
+
+// This file holds the shared scenario-configuration helpers the
+// experiment functions compose; see doc.go for the package story.
 
 import (
 	"time"

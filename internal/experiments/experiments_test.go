@@ -68,7 +68,7 @@ func TestAllExperimentsRegenerate(t *testing.T) {
 		}
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tbl, err := e.Run(11, 0)
+			tbl, err := e.Run(11, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +96,7 @@ func TestAllExperimentsRegenerate(t *testing.T) {
 
 func TestTable1MeritsShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Table1Merits(11, 0)
+	tbl, err := Table1Merits(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestTable1MeritsShape(t *testing.T) {
 
 func TestTable2RisksShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Table2Risks(11, 0)
+	tbl, err := Table2Risks(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestTable2RisksShape(t *testing.T) {
 
 func TestTable5AutoscalerOrdering(t *testing.T) {
 	t.Parallel()
-	tbl, err := Table5Autoscalers(11, 0)
+	tbl, err := Table5Autoscalers(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestTable5AutoscalerOrdering(t *testing.T) {
 
 func TestFigure3CrossoverShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure3CostCrossover(11, 0)
+	tbl, err := Figure3CostCrossover(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestFigure3CrossoverShape(t *testing.T) {
 
 func TestFigure5ReliabilityMonotone(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure5NetworkRisk(11, 0)
+	tbl, err := Figure5NetworkRisk(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestFigure5ReliabilityMonotone(t *testing.T) {
 
 func TestFigure7LockinMonotone(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure7Lockin(11, 0)
+	tbl, err := Figure7Lockin(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestFigure7LockinMonotone(t *testing.T) {
 
 func TestFigure8CDNShiftsCrossover(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure8CDN(11, 0)
+	tbl, err := Figure8CDN(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestFigure8CDNShiftsCrossover(t *testing.T) {
 
 func TestFigure9HostFailureShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure9HostFailure(11, 0)
+	tbl, err := Figure9HostFailure(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +284,7 @@ func TestFigure9HostFailureShape(t *testing.T) {
 
 func TestTable8PurchaseMixShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Table8PurchaseMix(11, 0)
+	tbl, err := Table8PurchaseMix(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func TestTable8PurchaseMixShape(t *testing.T) {
 
 func TestTable7FederationShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Table7Federation(11, 0)
+	tbl, err := Table7Federation(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestTable7FederationShape(t *testing.T) {
 
 func TestFigure1WorkloadShape(t *testing.T) {
 	t.Parallel()
-	tbl, err := Figure1Workload(11, 0)
+	tbl, err := Figure1Workload(11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ import (
 
 // Table7Federation studies a national shared private cloud for staggered
 // member institutions.
-func Table7Federation(seed uint64, _ int) (*metrics.Table, error) {
+func Table7Federation(seed uint64, _ *scenario.Pool) (*metrics.Table, error) {
 	res, err := federate.Study(federate.Config{Members: []federate.Member{
 		{Name: "capital-university", Students: 12000, CalendarShiftWeeks: 0},
 		{Name: "coastal-college", Students: 4000, CalendarShiftWeeks: 2},
@@ -41,7 +41,7 @@ func Table7Federation(seed uint64, _ int) (*metrics.Table, error) {
 
 // Figure8CDN reprices the public model with an edge CDN across
 // institution sizes and reports how far the Figure 3 crossover moves.
-func Figure8CDN(seed uint64, workers int) (*metrics.Table, error) {
+func Figure8CDN(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 8: CDN ablation — semester TCO per student (extension of Figure 3)",
 		"students", "public $/st/mo", "public+CDN $/st/mo", "private $/st/mo", "cheapest")
@@ -54,7 +54,7 @@ func Figure8CDN(seed uint64, workers int) (*metrics.Table, error) {
 		batch.AddFluid(fmt.Sprintf("public-cdn/%d", n), cfgCDN)
 		batch.AddFluid(fmt.Sprintf("private/%d", n), semester(seed, deploy.Private, n))
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -96,9 +96,9 @@ func Figure8CDN(seed uint64, workers int) (*metrics.Table, error) {
 
 // Table8PurchaseMix ablates the public model's purchase strategy:
 // all on-demand, the breakeven-optimal reserved mix, and all reserved,
-// over a standard semester — the "design decision worth ablating" from
-// DESIGN.md's public-cost section.
-func Table8PurchaseMix(seed uint64, _ int) (*metrics.Table, error) {
+// over a standard semester — the purchase-mix design decision the
+// public-cost model leaves open (see ARCHITECTURE.md).
+func Table8PurchaseMix(seed uint64, _ *scenario.Pool) (*metrics.Table, error) {
 	res, err := scenario.FluidRun(semester(seed, deploy.Public, collegeStudents))
 	if err != nil {
 		return nil, err
@@ -137,7 +137,7 @@ func costRates() cost.Rates { return cost.DefaultRates() }
 // crowd — the §IV.B "physical damage of the unit", at the worst possible
 // moment — and measures the user-visible damage for private and hybrid
 // deployments against undisturbed references.
-func Figure9HostFailure(seed uint64, workers int) (*metrics.Table, error) {
+func Figure9HostFailure(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 9: the server room dies mid-finals (§IV.B physical damage)",
 		"model", "killed jobs", "error rate", "p99", "note")
@@ -177,7 +177,7 @@ func Figure9HostFailure(seed uint64, workers int) (*metrics.Table, error) {
 	for _, r := range rows {
 		batch.Add(r.name, baseCfg(r.kind, r.fail))
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}

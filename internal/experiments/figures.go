@@ -17,7 +17,7 @@ import (
 
 // Figure1Workload renders the workload generator's shape: the diurnal
 // arrival-rate curve (hourly) and the semester week multipliers.
-func Figure1Workload(seed uint64, _ int) (*metrics.Table, error) {
+func Figure1Workload(seed uint64, _ *scenario.Pool) (*metrics.Table, error) {
 	gen, err := workload.NewGenerator(workload.Config{
 		Students:          collegeStudents,
 		ReqPerStudentHour: 50,
@@ -53,12 +53,12 @@ func Figure1Workload(seed uint64, _ int) (*metrics.Table, error) {
 
 // Figure2ExamSpike renders per-minute P95 latency through an exam flash
 // crowd for the three models (§IV.A scalability).
-func Figure2ExamSpike(seed uint64, workers int) (*metrics.Table, error) {
+func Figure2ExamSpike(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	batch := scenario.NewBatch(seed)
 	for _, kind := range deploy.Kinds() {
 		batch.Add("exam/"+kind.String(), examDay(seed, kind, scenario.ScalerReactive))
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +98,7 @@ func Figure2ExamSpike(seed uint64, workers int) (*metrics.Table, error) {
 // Figure3CostCrossover sweeps institution size and reports monthly cost
 // per student per model — the paper's §V cost trade-off, with the
 // public/private crossover located.
-func Figure3CostCrossover(seed uint64, workers int) (*metrics.Table, error) {
+func Figure3CostCrossover(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 3: semester TCO per student vs institution size",
 		"students", "public $/st/mo", "private $/st/mo", "hybrid $/st/mo", "desktop $/st/mo", "cheapest")
@@ -111,7 +111,7 @@ func Figure3CostCrossover(seed uint64, workers int) (*metrics.Table, error) {
 			batch.AddFluid(fmt.Sprintf("%d/%s", n, kind), semester(seed, kind, n))
 		}
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -148,11 +148,11 @@ func Figure3CostCrossover(seed uint64, workers int) (*metrics.Table, error) {
 // Figure4Utilization renders the §IV.B underutilization argument: weekly
 // private-fleet utilization vs the elastic fleet's size across a
 // semester.
-func Figure4Utilization(seed uint64, workers int) (*metrics.Table, error) {
+func Figure4Utilization(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	runs, err := scenario.NewBatch(seed).
 		AddFluid("private-semester", semester(seed, deploy.Private, collegeStudents)).
 		AddFluid("public-semester", semester(seed, deploy.Public, collegeStudents)).
-		Run(workers)
+		RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +195,7 @@ func Figure4Utilization(seed uint64, workers int) (*metrics.Table, error) {
 
 // Figure5NetworkRisk sweeps last-mile reliability over a simulated week
 // and reports lost work and failed requests (§III risk 1).
-func Figure5NetworkRisk(seed uint64, workers int) (*metrics.Table, error) {
+func Figure5NetworkRisk(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	const horizon = 7 * 24 * time.Hour
 	const trackedSessions = 100
 	t := metrics.NewTable(
@@ -232,7 +232,7 @@ func Figure5NetworkRisk(seed uint64, workers int) (*metrics.Table, error) {
 		TrackedSessions:   trackedSessions,
 		Access:            network.CampusLAN,
 	})
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +255,7 @@ func Figure5NetworkRisk(seed uint64, workers int) (*metrics.Table, error) {
 // Figure6Security sweeps the threat environment: breach exposure versus
 // shared-infrastructure attack surface, and data loss versus physical
 // damage rate (§III risk 2, §IV.B).
-func Figure6Security(seed uint64, workers int) (*metrics.Table, error) {
+func Figure6Security(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 6: security incidents over 10 simulated years (2000 students)",
 		"scenario", "model", "breaches", "sensitive exposures", "loss events", "TB lost")
@@ -290,7 +290,7 @@ func Figure6Security(seed uint64, workers int) (*metrics.Table, error) {
 	specs = append(specs, spec{"fragile room + offsite backup", deploy.Private, backed})
 
 	rows := make([][]any, len(specs))
-	err := scenario.ForEach(len(specs), workers, func(i int) error {
+	err := pool.ForEach(len(specs), func(i int) error {
 		s := specs[i]
 		eng := sim.NewEngine(seed)
 		assets := lms.NewAssetStore(collegeStudents/25, collegeStudents)
@@ -331,7 +331,7 @@ func Figure6Security(seed uint64, workers int) (*metrics.Table, error) {
 // where each model's typical adoption lands on the curve: that position,
 // not the data footprint, is what makes public exits expensive and
 // hybrid exits tolerable.
-func Figure7Lockin(seed uint64, _ int) (*metrics.Table, error) {
+func Figure7Lockin(seed uint64, _ *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Figure 7: cost to bring the system back in-house vs lock-in index",
 		"lock-in index", "re-engineering", "egress", "total", "calendar time", "typical for")

@@ -4,22 +4,25 @@ import (
 	"fmt"
 
 	"elearncloud/internal/metrics"
+	"elearncloud/internal/scenario"
 )
 
 // Experiment is one regenerable table or figure.
 type Experiment struct {
-	// ID is the experiment identifier from DESIGN.md ("table1",
-	// "figure3", ...).
+	// ID is the experiment identifier from ARCHITECTURE.md's experiment
+	// index ("table1", "figure3", ...).
 	ID string
 	// Title is a human-readable one-liner.
 	Title string
-	// Run regenerates the artifact. workers sizes the worker pool its
-	// independent scenario jobs fan out on (<= 0 means
-	// scenario.DefaultWorkers); the rendered table is byte-identical
-	// for every worker count, because each job's randomness is fixed at
-	// submission (rooted at its Config.Seed, set from the experiment
-	// seed) and results are collected in submission order.
-	Run func(seed uint64, workers int) (*metrics.Table, error)
+	// Run regenerates the artifact. pool is the shared worker pool its
+	// independent scenario jobs fan out on — typically the suite-wide
+	// pool cmd/elbench threads through every experiment, so a core
+	// freed by any experiment is claimed by any other (nil means a
+	// one-off scenario.DefaultWorkers pool). The rendered table is
+	// byte-identical for every pool, because each job's randomness is
+	// fixed at submission (rooted at its Config.Seed, set from the
+	// experiment seed) and results are collected in submission order.
+	Run func(seed uint64, pool *scenario.Pool) (*metrics.Table, error)
 }
 
 // All returns every experiment in presentation order.
@@ -38,8 +41,8 @@ func All() []Experiment {
 		{"figure5", "Lost work vs last-mile reliability", Figure5NetworkRisk},
 		{"figure6", "Security incidents over 10 years", Figure6Security},
 		{"figure7", "Migration cost vs lock-in index", Figure7Lockin},
-		// Extension experiments (DESIGN.md "future work the paper
-		// gestures at").
+		// Extension experiments ("future work the paper gestures at";
+		// see ARCHITECTURE.md).
 		{"table7", "National shared private cloud (§IV.C/§V)", Table7Federation},
 		{"table8", "Reserved vs on-demand purchase mix", Table8PurchaseMix},
 		{"figure8", "CDN ablation on the cost crossover", Figure8CDN},

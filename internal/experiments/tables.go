@@ -16,13 +16,13 @@ import (
 
 // Table1Merits quantifies the paper's §III merits 1-6 of cloud-based
 // e-learning against the on-premise desktop baseline.
-func Table1Merits(seed uint64, workers int) (*metrics.Table, error) {
+func Table1Merits(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	runs, err := scenario.NewBatch(seed).
 		AddFluid("cloud-semester", semester(seed, deploy.Public, collegeStudents)).
 		AddFluid("desktop-semester", semester(seed, deploy.Desktop, collegeStudents)).
 		Add("cloud-steady", steadyTeaching(seed, deploy.Public)).
 		Add("desktop-steady", steadyTeaching(seed, deploy.Desktop)).
-		Run(workers)
+		RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +81,7 @@ func Table1Merits(seed uint64, workers int) (*metrics.Table, error) {
 
 // Table2Risks quantifies the paper's §III risks: network dependence,
 // security exposure, and portability lock-in, per deployment model.
-func Table2Risks(seed uint64, workers int) (*metrics.Table, error) {
+func Table2Risks(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 2: cloud e-learning risks by deployment model (paper §III)",
 		"risk", "public", "private", "hybrid")
@@ -101,7 +101,7 @@ func Table2Risks(seed uint64, workers int) (*metrics.Table, error) {
 			TrackedSessions:   trackedSessions,
 		})
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -164,10 +164,10 @@ func Table2Risks(seed uint64, workers int) (*metrics.Table, error) {
 
 // Table3Matrix reproduces the paper's central artifact: the deployment
 // comparison matrix "articulated exhaustively" (§V), at college scale.
-func Table3Matrix(seed uint64, workers int) (*metrics.Table, error) {
+func Table3Matrix(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	in, err := core.MeasureInputs(core.MeasureConfig{
 		Seed: seed, Students: collegeStudents, DESStudents: desStudents,
-		Workers: workers,
+		Pool: pool,
 	})
 	if err != nil {
 		return nil, err
@@ -194,7 +194,7 @@ func Table3Matrix(seed uint64, workers int) (*metrics.Table, error) {
 
 // Table4HybridAblation sweeps the hybrid "distribution of units" policy
 // (§IV.C): private share and pinning strictness, under an exam crowd.
-func Table4HybridAblation(seed uint64, workers int) (*metrics.Table, error) {
+func Table4HybridAblation(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 4: hybrid unit-distribution ablation under a 10x exam crowd (paper §IV.C)",
 		"policy", "p99 latency", "error rate", "pinning violations", "sensitive risk/yr")
@@ -217,7 +217,7 @@ func Table4HybridAblation(seed uint64, workers int) (*metrics.Table, error) {
 		cfg.StrictPinning = v.strict
 		batch.Add(v.name, cfg)
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +250,7 @@ func Table4HybridAblation(seed uint64, workers int) (*metrics.Table, error) {
 
 // Table5Autoscalers ablates elasticity policies on the exam crowd
 // (§III.2 improved performance / §IV.A quickest solution).
-func Table5Autoscalers(seed uint64, workers int) (*metrics.Table, error) {
+func Table5Autoscalers(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 5: autoscaler ablation under a 10x exam crowd (public model)",
 		"policy", "p95", "p99", "error rate", "peak servers", "VM-hours")
@@ -262,7 +262,7 @@ func Table5Autoscalers(seed uint64, workers int) (*metrics.Table, error) {
 	for _, sk := range scalers {
 		batch.Add(sk.String(), examDay(seed, deploy.Public, sk))
 	}
-	runs, err := batch.Run(workers)
+	runs, err := batch.RunOn(pool)
 	if err != nil {
 		return nil, err
 	}
@@ -283,22 +283,28 @@ func Table5Autoscalers(seed uint64, workers int) (*metrics.Table, error) {
 // Table6Advisor reproduces §II's "customers can choose one of cloud
 // deployment models, depending on their requirements": rankings per
 // institution profile, each measured at its own scale.
-func Table6Advisor(seed uint64, workers int) (*metrics.Table, error) {
+func Table6Advisor(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Table 6: advisor recommendations per institution profile",
 		"profile", "students", "1st", "2nd", "3rd", "top score")
 	profiles := []core.Profile{core.RuralSchool, core.MidCollege, core.NationalPlatform}
 	// Each profile is measured at its own scale — independent work, so
-	// fan the profiles out and let each measurement batch internally,
-	// splitting the worker budget between the two levels rather than
-	// multiplying it.
-	outer, inner := scenario.SplitBudget(workers, len(profiles))
+	// fan the profiles out and let each measurement batch nest on the
+	// same pool: the pool's tokens span both levels, so a core freed
+	// when the profile loop drains is claimed by a still-running
+	// measurement batch. Normalize a nil pool here, not per level —
+	// otherwise each nested MeasureInputs would build its own one-off
+	// pool and multiply the two levels' concurrency instead of sharing
+	// one cap.
+	if pool == nil {
+		pool = scenario.NewPool(0)
+	}
 	recs := make([][]core.Recommendation, len(profiles))
-	err := scenario.ForEach(len(profiles), outer, func(i int) error {
+	err := pool.ForEach(len(profiles), func(i int) error {
 		p := profiles[i]
 		in, err := core.MeasureInputs(core.MeasureConfig{
 			Seed: seed, Students: p.Students, DESStudents: min(p.Students, desStudents),
-			Workers: inner,
+			Pool: pool,
 		})
 		if err != nil {
 			return err

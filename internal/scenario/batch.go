@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,17 +11,17 @@ import (
 )
 
 // This file is the deterministic parallel batch runner. Experiments
-// declare their scenario sets as named jobs and a worker pool fans them
-// out across goroutines. Determinism contract:
+// declare their scenario sets as named jobs and a shared worker pool
+// fans them out across goroutines. Determinism contract:
 //
 //   - A job's randomness is fixed when the job is declared: its RNG
 //     streams are rooted at its own Config.Seed, which the caller sets
 //     explicitly or, when left zero, is derived from the batch seed and
 //     the job name via sim.SeedFor. Nothing about scheduling — worker
-//     identity, worker count, completion order — ever reaches a job's
-//     RNG. (Two jobs given identical configs and the same explicit seed
-//     are identical runs; distinct names decorrelate only derived
-//     seeds.)
+//     identity, worker count, completion order, which pool ran the job
+//     — ever reaches a job's RNG. (Two jobs given identical configs and
+//     the same explicit seed are identical runs; distinct names
+//     decorrelate only derived seeds.)
 //   - Jobs share no mutable state: every Run/FluidRun builds its own
 //     engine, fleets, topology and metrics.
 //   - Results are collected in submission order and errors propagate
@@ -28,7 +29,8 @@ import (
 //     what order jobs finished.
 //
 // Together these make the batch output byte-identical to the serial path
-// for any worker count.
+// for any worker count and any pool sharing. Pool tokens gate only WHEN
+// a job starts, never its RNG or its result slot.
 
 // DefaultWorkers is the worker count used when a caller passes
 // workers <= 0: one per available CPU.
@@ -38,95 +40,212 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // sim.SeedFor for the derivation rule.
 func SeedFor(seed uint64, name string) uint64 { return sim.SeedFor(seed, name) }
 
-// SplitBudget divides a total worker budget between an outer pool over n
-// tasks and the inner pool each task runs on, so nested fan-out keeps
-// total concurrency near workers instead of multiplying the two levels.
-// workers <= 0 means DefaultWorkers. Both returns are at least 1 and
-// outer never exceeds n. inner uses ceiling division so no part of the
-// budget is stranded when workers doesn't divide evenly; total
-// concurrency may overshoot workers by at most outer-1.
-func SplitBudget(workers, n int) (outer, inner int) {
+// Pool is a shared, work-conserving worker pool: a weighted semaphore
+// whose tokens span every batch and ForEach that runs on it, however
+// deeply they nest. The goroutine that calls ForEach (or RunAll /
+// Batch.RunOn) is itself the first worker and needs no token; each
+// helper goroutine is recruited with one token, and a pool of workers
+// holds workers-1 helper tokens, so global concurrency never exceeds
+// workers no matter how many levels share the pool.
+//
+// Two properties follow from "callers always run their own jobs
+// inline":
+//
+//   - Nesting cannot deadlock. A nested ForEach that finds every token
+//     taken simply degrades to the serial path on its caller's
+//     goroutine; it never blocks waiting for capacity.
+//   - The pool is work-conserving. Tokens are not partitioned between
+//     nesting levels: the moment any batch anywhere drains and releases
+//     a token, any other batch with queued jobs recruits on it. A
+//     caller that has dispatched all its indices and is merely waiting
+//     for its helpers donates a token for the duration of the wait, so
+//     even the waiting goroutine's core stays busy (see ForEach).
+//
+// Acquire/Release are exported so side tasks can share the same global
+// concurrency cap; ForEach callers never need them.
+type Pool struct {
+	// tokens carries free helper tokens. Capacity exceeds the steady
+	// count (workers-1) so waiting callers can transiently donate their
+	// own slot without blocking.
+	tokens  chan struct{}
+	workers int
+}
+
+// NewPool returns a pool enforcing a global concurrency cap of workers
+// (<= 0 means DefaultWorkers). A one-worker pool has no helper tokens:
+// everything on it runs serially on the calling goroutine, which is the
+// reference path the determinism tests compare against.
+func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	outer = workers
-	if outer > n {
-		outer = n
+	p := &Pool{tokens: make(chan struct{}, 2*workers), workers: workers}
+	for i := 0; i < workers-1; i++ {
+		p.tokens <- struct{}{}
 	}
-	if outer < 1 {
-		outer = 1
-	}
-	inner = (workers + outer - 1) / outer
-	return outer, inner
+	return p
 }
 
-// ForEach runs fn(i) for every i in [0, n) on a pool of workers
-// goroutines and returns the first error in index order (not completion
-// order). With workers <= 0 it uses DefaultWorkers; with workers == 1 it
-// runs inline, which is the reference serial path. After a failure at
-// index i, only indices greater than i may be skipped — lower indices
-// always run — so the reported error is the same one the serial path
-// stops at, for every worker count. fn must confine its writes to
-// per-index state (typically slot i of a results slice).
-func ForEach(n, workers int, fn func(i int) error) error {
+// Workers reports the pool's global concurrency cap.
+func (p *Pool) Workers() int { return p.workers }
+
+// Acquire blocks until a helper token is free or ctx is done, and
+// returns ctx.Err in the latter case. Every successful Acquire must be
+// paired with exactly one Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case <-p.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a helper token if one is free right now.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a token taken by Acquire or TryAcquire. Releasing
+// more tokens than were acquired corrupts the concurrency cap, so an
+// overfull pool panics.
+func (p *Pool) Release() {
+	select {
+	case p.tokens <- struct{}{}:
+	default:
+		panic("scenario: Pool.Release without matching Acquire")
+	}
+}
+
+// donate parks one transient token for helpers to claim while the donor
+// blocks. It is best-effort: a full pool means nobody is starved, so
+// skipping the donation is fine.
+func (p *Pool) donate() bool {
+	select {
+	case p.tokens <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the pool and returns the
+// first error in index order (not completion order). The calling
+// goroutine always participates, pulling indices inline; a recruiter
+// turns every token that frees up — here or in any other batch sharing
+// the pool — into one more helper, up to n-1 of them. A nil pool runs
+// on a one-off DefaultWorkers pool.
+//
+// After a failure at index i, only indices greater than i may be
+// skipped — lower indices always run — so the reported error is the
+// same one the serial path stops at, for every worker count. fn must
+// confine its writes to per-index state (typically slot i of a results
+// slice).
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if p == nil {
+		p = NewPool(0)
+	}
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
 	errs := make([]error, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if errs[i] = fn(i); errs[i] != nil {
-				return errs[i]
+	var minFailed atomic.Int64
+	minFailed.Store(int64(n)) // sentinel: nothing failed yet
+	run := func(i int) {
+		// minFailed only ever decreases, so a skipped index is always
+		// above the final minimum: the first-by-index failure is
+		// guaranteed to have actually run.
+		if int64(i) > minFailed.Load() {
+			return
+		}
+		if err := fn(i); err != nil {
+			errs[i] = err
+			for {
+				cur := minFailed.Load()
+				if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
+					break
+				}
 			}
 		}
-		return nil
 	}
-	var (
-		wg        sync.WaitGroup
-		minFailed atomic.Int64
-		idx       = make(chan int)
-	)
-	minFailed.Store(int64(n)) // sentinel: nothing failed yet
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				// minFailed only ever decreases, so a skipped index is
-				// always above the final minimum: the first-by-index
-				// failure is guaranteed to have actually run.
-				if int64(i) > minFailed.Load() {
-					continue
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					for {
-						cur := minFailed.Load()
-						if int64(i) >= cur || minFailed.CompareAndSwap(cur, int64(i)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
+
+	idx := make(chan int, n)
 	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
-	wg.Wait()
+
+	var (
+		helpers   sync.WaitGroup
+		recruiter sync.WaitGroup
+		spawned   atomic.Int64
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if p.workers > 1 && n > 1 {
+		// Recruiter: converts freed tokens into helpers while indices
+		// remain. It never gates the caller — with no token ever free,
+		// the caller alone drains idx, which is the serial path.
+		recruiter.Add(1)
+		go func() {
+			defer recruiter.Done()
+			for spawned.Load() < int64(n-1) && len(idx) > 0 {
+				if p.Acquire(ctx) != nil {
+					return
+				}
+				if ctx.Err() != nil || len(idx) == 0 {
+					p.Release() // token acquired after the work was gone
+					return
+				}
+				spawned.Add(1)
+				helpers.Add(1)
+				go func() {
+					defer helpers.Done()
+					defer p.Release()
+					for i := range idx {
+						run(i)
+					}
+				}()
+			}
+		}()
+	}
+
+	for i := range idx {
+		run(i)
+	}
+	// All indices are dispatched. Stop recruiting first — otherwise our
+	// own recruiter would grab the token we are about to donate — then
+	// lend our slot to whoever still has work (an inner batch of one of
+	// our helpers, or a sibling sharing the pool) while we block, and
+	// reclaim it before returning so the cap stays exact.
+	cancel()
+	recruiter.Wait()
+	donated := false
+	if spawned.Load() > 0 {
+		donated = p.donate()
+	}
+	helpers.Wait()
+	if donated {
+		_ = p.Acquire(context.Background())
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a one-off pool of workers
+// goroutines (<= 0 means DefaultWorkers); workers == 1 is the reference
+// serial path. See Pool.ForEach for the error contract.
+func ForEach(n, workers int, fn func(i int) error) error {
+	return NewPool(workers).ForEach(n, fn)
 }
 
 // Job is one named, independent scenario execution within a batch.
@@ -150,12 +269,12 @@ type JobResult struct {
 	Fluid *FluidResult
 }
 
-// RunAll executes jobs on a pool of workers goroutines and returns their
-// results in submission order. If any job fails, the error of the
-// first-submitted failing job is returned (wrapped with its name) and the
-// results are discarded. Worker count never affects the results — only
-// how fast they arrive.
-func RunAll(jobs []Job, workers int) ([]JobResult, error) {
+// RunAll executes jobs on the pool and returns their results in
+// submission order. If any job fails, the error of the first-submitted
+// failing job is returned (wrapped with its name) and the results are
+// discarded. The pool never affects the results — only how fast they
+// arrive.
+func (p *Pool) RunAll(jobs []Job) ([]JobResult, error) {
 	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
 		if j.Name == "" {
@@ -167,7 +286,7 @@ func RunAll(jobs []Job, workers int) ([]JobResult, error) {
 		seen[j.Name] = true
 	}
 	out := make([]JobResult, len(jobs))
-	err := ForEach(len(jobs), workers, func(i int) error {
+	err := p.ForEach(len(jobs), func(i int) error {
 		j := jobs[i]
 		out[i].Name = j.Name
 		if j.Fluid {
@@ -189,6 +308,12 @@ func RunAll(jobs []Job, workers int) ([]JobResult, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// RunAll executes jobs on a one-off pool of workers goroutines; see
+// Pool.RunAll.
+func RunAll(jobs []Job, workers int) ([]JobResult, error) {
+	return NewPool(workers).RunAll(jobs)
 }
 
 // Batch accumulates named jobs and runs them through RunAll. The zero
@@ -225,10 +350,14 @@ func (b *Batch) add(name string, cfg Config, fluid bool) *Batch {
 // Len returns the number of queued jobs.
 func (b *Batch) Len() int { return len(b.jobs) }
 
-// Run executes every queued job on workers goroutines (<= 0 means
-// DefaultWorkers) and returns the collected results.
-func (b *Batch) Run(workers int) (*BatchResults, error) {
-	ordered, err := RunAll(b.jobs, workers)
+// RunOn executes every queued job on the shared pool and returns the
+// collected results. This is how nested batches stay work-conserving:
+// an experiment handed the suite-wide pool runs its jobs on the same
+// tokens the across-experiments loop uses, so a core freed by any level
+// is claimed by any other. A nil pool means a one-off DefaultWorkers
+// pool.
+func (b *Batch) RunOn(p *Pool) (*BatchResults, error) {
+	ordered, err := p.RunAll(b.jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +366,12 @@ func (b *Batch) Run(workers int) (*BatchResults, error) {
 		byName[r.Name] = i
 	}
 	return &BatchResults{ordered: ordered, byName: byName}, nil
+}
+
+// Run executes every queued job on a one-off pool of workers goroutines
+// (<= 0 means DefaultWorkers) and returns the collected results.
+func (b *Batch) Run(workers int) (*BatchResults, error) {
+	return b.RunOn(NewPool(workers))
 }
 
 // BatchResults holds a batch's outcomes, addressable by submission order

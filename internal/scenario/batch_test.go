@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -177,32 +179,158 @@ func TestBatchResultLookup(t *testing.T) {
 	expectPanic(t, func() { res.Fluid("des") })
 }
 
-// TestSplitBudget: the two pool levels share the budget instead of
-// multiplying it, and degenerate inputs stay sane.
-func TestSplitBudget(t *testing.T) {
+// TestPoolSerializesNestedBatches: a one-worker pool has no helper
+// tokens, so nested ForEach levels all run inline on the calling
+// goroutine — strictly one job at a time, with no deadlock. This is the
+// property that makes nesting on a shared pool safe at all: a level
+// that finds no free token degrades to the serial path instead of
+// blocking on capacity it can never get.
+func TestPoolSerializesNestedBatches(t *testing.T) {
 	t.Parallel()
-	cases := []struct {
-		workers, n, outer, inner int
-	}{
-		{1, 17, 1, 1},
-		{4, 17, 4, 1},
-		{64, 17, 17, 4}, // ceil(64/17): don't strand budget on uneven splits
-		{32, 17, 17, 2}, // floor would leave 15 of 32 workers idle
-		{4, 3, 3, 2},
-		{8, 1, 1, 8},
-		{3, 0, 1, 3},
+	p := NewPool(1)
+	var active, maxActive, ran atomic.Int64
+	err := p.ForEach(3, func(i int) error {
+		return p.ForEach(4, func(j int) error {
+			a := active.Add(1)
+			defer active.Add(-1)
+			for {
+				m := maxActive.Load()
+				if a <= m || maxActive.CompareAndSwap(m, a) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, c := range cases {
-		outer, inner := SplitBudget(c.workers, c.n)
-		if outer != c.outer || inner != c.inner {
-			t.Errorf("SplitBudget(%d, %d) = (%d, %d), want (%d, %d)",
-				c.workers, c.n, outer, inner, c.outer, c.inner)
+	if ran.Load() != 12 {
+		t.Fatalf("ran %d of 12 nested jobs", ran.Load())
+	}
+	if maxActive.Load() != 1 {
+		t.Fatalf("1-worker pool ran %d jobs concurrently", maxActive.Load())
+	}
+}
+
+// TestPoolWorkConservingHandoff is the starvation/fairness test for the
+// shared pool: when the outer level drains, its freed slot must reach a
+// still-running inner batch. A two-worker pool runs two outer jobs; one
+// returns immediately, the other nests a two-job batch whose jobs each
+// block until both are running. Only a pool that hands the drained
+// outer slot to the inner level can satisfy that barrier — a static
+// outer/inner split (the old SplitBudget) would starve the second inner
+// job forever.
+func TestPoolWorkConservingHandoff(t *testing.T) {
+	t.Parallel()
+	p := NewPool(2)
+	bothRunning := make(chan struct{})
+	var running atomic.Int64
+	err := p.ForEach(2, func(i int) error {
+		if i == 0 {
+			return nil // drains immediately, freeing an outer slot
+		}
+		return p.ForEach(2, func(j int) error {
+			if running.Add(1) == 2 {
+				close(bothRunning)
+			}
+			select {
+			case <-bothRunning:
+				return nil
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("inner job %d starved: the freed outer slot never reached the inner batch", j)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolNestedBatchDeterminism: sharing one pool across nesting
+// levels — the elbench topology — must not change a single byte of any
+// result relative to the fully serial path, for any worker count.
+func TestPoolNestedBatchDeterminism(t *testing.T) {
+	t.Parallel()
+	groups := [][]Job{
+		{
+			{Name: "public", Cfg: smallCfg(11, deploy.Public)},
+			{Name: "private", Cfg: smallCfg(11, deploy.Private)},
+		},
+		{
+			{Name: "hybrid", Cfg: smallCfg(11, deploy.Hybrid)},
+			{Name: "desktop", Cfg: smallCfg(11, deploy.Desktop)},
+			{Name: "public-fluid", Cfg: smallCfg(11, deploy.Public), Fluid: true},
+		},
+	}
+	render := func(workers int) []string {
+		t.Helper()
+		p := NewPool(workers)
+		out := make([]string, len(groups))
+		err := p.ForEach(len(groups), func(g int) error {
+			res, err := p.RunAll(groups[g]) // nested on the same pool
+			if err != nil {
+				return err
+			}
+			var b strings.Builder
+			for _, r := range res {
+				if r.Res != nil {
+					fmt.Fprintf(&b, "%s: %s\n", r.Name, fingerprint(r.Res))
+				} else {
+					fmt.Fprintf(&b, "%s: fluid %v %v %v\n", r.Name,
+						r.Fluid.VMHoursPublic, r.Fluid.Cost.Total(), r.Fluid.PeakServers)
+				}
+			}
+			out[g] = b.String()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := render(workers)
+		for g := range groups {
+			if got[g] != serial[g] {
+				t.Fatalf("workers=%d group %d diverged from serial:\n got %s\nwant %s",
+					workers, g, got[g], serial[g])
+			}
 		}
 	}
-	// workers <= 0 falls back to DefaultWorkers.
-	outer, inner := SplitBudget(0, 2)
-	if outer < 1 || inner < 1 {
-		t.Fatalf("SplitBudget(0, 2) = (%d, %d)", outer, inner)
+}
+
+// TestPoolAcquireRelease: the exported semaphore surface — context
+// cancellation unblocks Acquire, TryAcquire never blocks, and tokens
+// round-trip.
+func TestPoolAcquireRelease(t *testing.T) {
+	t.Parallel()
+	p := NewPool(3) // two helper tokens
+	ctx := context.Background()
+	if err := p.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !p.TryAcquire() {
+		t.Fatal("second helper token not available")
+	}
+	if p.TryAcquire() {
+		t.Fatal("acquired more helper tokens than workers-1")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := p.Acquire(cancelled); err == nil {
+		t.Fatal("Acquire on an empty pool ignored context cancellation")
+	}
+	p.Release()
+	p.Release()
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	if got := NewPool(0).Workers(); got != DefaultWorkers() {
+		t.Fatalf("NewPool(0).Workers() = %d, want DefaultWorkers() = %d", got, DefaultWorkers())
 	}
 }
 

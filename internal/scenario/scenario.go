@@ -1,17 +1,3 @@
-// Package scenario binds every substrate into end-to-end experiments: a
-// deployment model serving the e-learning workload over a network, with
-// autoscaling, sessions, threats and cost accounting. It offers two
-// fidelities:
-//
-//   - Run: full request-level discrete-event simulation, for experiments
-//     where latency distributions and overload behavior matter (exam
-//     spikes, network outages). Horizons of hours to a few days.
-//   - FluidRun: a flow-level approximation that steps the arrival-rate
-//     curve and integrates capacity, utilization and cost, for
-//     semester-scale TCO and utilization studies where per-request
-//     queueing is irrelevant.
-//
-// Both are deterministic given (seed, config).
 package scenario
 
 import (

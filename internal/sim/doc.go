@@ -1,0 +1,20 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate every other elearncloud package runs on. It
+// offers a virtual clock, an event queue with stable FIFO ordering among
+// simultaneous events, seeded and splittable random-number streams, a small
+// library of probability distributions, and a non-homogeneous Poisson
+// process generator used by the workload package.
+//
+// Determinism contract: two Engines constructed with the same seed and fed
+// the same schedule of events produce byte-identical event orderings and
+// random draws. All randomness used in a simulation must flow through
+// RNG streams obtained from the engine (or from an explicit seed) for this
+// contract to hold.
+//
+// SeedFor(seed, name) is the root of the repository-wide (seed, job name)
+// rule: independent simulations launched in parallel derive their seeds
+// from a parent seed and a unique name, so scheduling can never leak into
+// their randomness. See ARCHITECTURE.md for how the scenario batch runner
+// builds on it.
+package sim

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check-docs.sh — fail on markdown links that point at files missing
+# from the repo. Run from the repository root; CI's docs job runs it on
+# every push. External (http/https/mailto) links and pure #anchors are
+# skipped; relative targets are resolved against the linking file's
+# directory and checked for existence, so a doc rename that strands a
+# reference breaks the build instead of rotting quietly.
+set -eu
+
+files="README.md ARCHITECTURE.md ROADMAP.md"
+fail=0
+
+for f in $files; do
+    if [ ! -f "$f" ]; then
+        echo "check-docs: missing doc file: $f" >&2
+        fail=1
+        continue
+    fi
+    dir=$(dirname "$f")
+    # Markdown inline links: capture the (target) of every ](target).
+    for link in $(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//'); do
+        case "$link" in
+        http://* | https://* | mailto:*) continue ;;
+        '#'*) continue ;;
+        esac
+        target=${link%%#*} # strip any section anchor
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "check-docs: $f links to nonexistent repo file: $target" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check-docs: FAILED" >&2
+    exit 1
+fi
+echo "check-docs: all markdown links resolve"
