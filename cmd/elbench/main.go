@@ -4,6 +4,9 @@
 // Usage:
 //
 //	elbench [-seed N] [-id table3] [-csv] [-parallel N]
+//	elbench -json                       # machine-readable perf record
+//	elbench -verify [-golden DIR]       # diff artifacts against the golden store
+//	elbench -update [-golden DIR]       # regenerate the golden store
 //
 // With -id, only the named experiment runs; with -csv the table is
 // emitted as CSV instead of aligned text. -parallel is a true global
@@ -14,16 +17,34 @@
 // every -parallel value: experiments print in registry order, each
 // scenario job's randomness is fixed at submission by its config and
 // seed, and batch results are collected in submission order.
+//
+// -json replaces the artifact text with one JSON suite record: per
+// experiment the wall-clock, jobs run (attributed via scenario.Meter),
+// artifact size and SHA-256; plus the shared pool's realized-execution
+// telemetry (scenario.PoolStats) and the SHA-256 of the concatenated
+// artifact bytes. BENCH_PR3.json at the repo root is a committed record
+// — the perf baseline new runs are compared against.
+//
+// -verify re-renders every artifact and diffs it byte-for-byte against
+// testdata/golden/<id>.txt, failing on any drift; -update rewrites the
+// store. The golden files are the enforced form of the "output is
+// byte-identical" claim: CI verifies them at -parallel 1 and 4.
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"elearncloud/internal/experiments"
-	"elearncloud/internal/metrics"
 	"elearncloud/internal/scenario"
 )
 
@@ -34,6 +55,48 @@ func main() {
 	}
 }
 
+// artifact is one regenerated experiment plus its accounting.
+type artifact struct {
+	id, title string
+	text      string // exactly the bytes the plain text mode prints
+	wall      time.Duration
+	jobs      uint64
+}
+
+// suiteRecord is the schema-stable machine-readable output of -json.
+// Field order is emission order; additions must append, never reorder
+// or rename, so committed records (BENCH_PR3.json) stay comparable.
+type suiteRecord struct {
+	Schema         string             `json:"schema"`
+	Seed           uint64             `json:"seed"`
+	Parallel       int                `json:"parallel"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	GoVersion      string             `json:"go_version"`
+	SuiteWallMS    float64            `json:"suite_wall_ms"`
+	ArtifactSHA256 string             `json:"artifact_sha256"`
+	Experiments    []experimentRecord `json:"experiments"`
+	Pool           poolRecord         `json:"pool"`
+}
+
+type experimentRecord struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Jobs   uint64  `json:"jobs"`
+	Bytes  int     `json:"bytes"`
+	SHA256 string  `json:"sha256"`
+}
+
+type poolRecord struct {
+	Workers        int     `json:"workers"`
+	JobsRun        uint64  `json:"jobs_run"`
+	HelperRecruits uint64  `json:"helper_recruits"`
+	Handoffs       uint64  `json:"handoffs"`
+	Donations      uint64  `json:"donations"`
+	PeakConcurrent int     `json:"peak_concurrent"`
+	TokenIdleMS    float64 `json:"token_idle_ms"`
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -41,6 +104,11 @@ func run(args []string, w io.Writer) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	parallel := fs.Int("parallel", scenario.DefaultWorkers(),
 		"global worker cap shared across and within experiments (results are identical for any value)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable perf record instead of artifact text")
+	verify := fs.Bool("verify", false, "diff regenerated artifacts against the golden store and fail on drift")
+	update := fs.Bool("update", false, "rewrite the golden store from regenerated artifacts")
+	golden := fs.String("golden", filepath.Join("testdata", "golden"),
+		"golden artifact directory used by -verify and -update")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -49,6 +117,21 @@ func run(args []string, w io.Writer) error {
 	// runs kept raw 0, so refuse the ambiguity outright.
 	if *seed == 0 {
 		return fmt.Errorf("-seed 0 is reserved (zero means \"derive\" inside scenario batches); pass a nonzero seed")
+	}
+	modes := 0
+	for _, on := range []bool{*jsonOut, *verify, *update} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-json, -verify and -update are mutually exclusive")
+	}
+	if *csv && modes > 0 {
+		return fmt.Errorf("-csv applies only to plain text output (the golden store and perf records are text-mode)")
+	}
+	if (*verify || *update) && *seed != 1 {
+		return fmt.Errorf("the golden store is pinned at seed 1; -verify/-update with -seed %d would always drift", *seed)
 	}
 
 	var list []experiments.Experiment
@@ -62,33 +145,203 @@ func run(args []string, w io.Writer) error {
 		list = experiments.All()
 	}
 
-	// Regenerate every artifact on one shared pool, then print in
+	// Regenerate every artifact on one shared pool, then emit in
 	// registry order — the parallel output must be indistinguishable
 	// from the serial one. The same pool is threaded into every
 	// experiment's internal batch, so the -parallel tokens span both
 	// nesting levels: when the across-experiments loop drains (e.g.
 	// through figure3's 32-job tail), its freed cores go straight to
-	// whichever inner batches still hold work.
+	// whichever inner batches still hold work. Each experiment runs
+	// through a metered view of the pool, so the suite record can
+	// attribute jobs per experiment while the cap stays global.
 	pool := scenario.NewPool(*parallel)
-	tables := make([]*metrics.Table, len(list))
+	arts := make([]artifact, len(list))
+	suiteStart := time.Now()
 	err := pool.ForEach(len(list), func(i int) error {
-		tbl, err := list[i].Run(*seed, pool)
+		var m scenario.Meter
+		start := time.Now()
+		tbl, err := list[i].Run(*seed, pool.WithMeter(&m))
 		if err != nil {
 			return fmt.Errorf("%s: %w", list[i].ID, err)
 		}
-		tables[i] = tbl
+		text := tbl.String() + "\n"
+		if *csv {
+			text = tbl.CSV()
+		}
+		arts[i] = artifact{
+			id:    list[i].ID,
+			title: list[i].Title,
+			text:  text,
+			wall:  time.Since(start),
+			jobs:  m.Jobs(),
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	suiteWall := time.Since(suiteStart)
 
-	for _, tbl := range tables {
-		if *csv {
-			fmt.Fprint(w, tbl.CSV())
-		} else {
-			fmt.Fprintln(w, tbl.String())
+	switch {
+	case *jsonOut:
+		return emitRecord(w, arts, *seed, *parallel, suiteWall, pool.Stats())
+	case *verify:
+		// A full run (no -id filter) also polices the store itself:
+		// goldens with no matching experiment are drift too.
+		return verifyGolden(w, arts, *golden, *id == "")
+	case *update:
+		return updateGolden(w, arts, *golden, *id == "")
+	}
+	for _, a := range arts {
+		if _, err := io.WriteString(w, a.text); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+func sha256Hex(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// emitRecord writes the -json suite record: per-experiment accounting
+// plus the shared pool's telemetry.
+func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
+	suiteWall time.Duration, stats scenario.PoolStats) error {
+	rec := suiteRecord{
+		Schema:      "elearncloud/bench/v1",
+		Seed:        seed,
+		Parallel:    parallel,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		SuiteWallMS: float64(suiteWall) / float64(time.Millisecond),
+		Pool: poolRecord{
+			Workers:        stats.Workers,
+			JobsRun:        stats.JobsRun,
+			HelperRecruits: stats.HelperRecruits,
+			Handoffs:       stats.Handoffs,
+			Donations:      stats.Donations,
+			PeakConcurrent: stats.PeakConcurrent,
+			TokenIdleMS:    float64(stats.TokenIdle) / float64(time.Millisecond),
+		},
+	}
+	var all bytes.Buffer
+	for _, a := range arts {
+		all.WriteString(a.text)
+		rec.Experiments = append(rec.Experiments, experimentRecord{
+			ID:     a.id,
+			Title:  a.title,
+			WallMS: float64(a.wall) / float64(time.Millisecond),
+			Jobs:   a.jobs,
+			Bytes:  len(a.text),
+			SHA256: sha256Hex(a.text),
+		})
+	}
+	rec.ArtifactSHA256 = sha256Hex(all.String())
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// orphanedGoldens lists .txt files in the store with no matching
+// artifact — stale leftovers after an experiment rename or removal.
+func orphanedGoldens(dir string, arts []artifact) ([]string, error) {
+	ids := make(map[string]bool, len(arts))
+	for _, a := range arts {
+		ids[a.id] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		// No store at all: every artifact is already reported as a
+		// missing golden file; don't let this error eat that report.
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var orphans []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".txt" {
+			continue
+		}
+		if !ids[name[:len(name)-len(".txt")]] {
+			orphans = append(orphans, name)
+		}
+	}
+	return orphans, nil
+}
+
+// verifyGolden diffs every regenerated artifact against its committed
+// golden copy and fails on the first byte of drift, reporting all
+// drifted artifacts at once. On a full run it also rejects orphaned
+// golden files, so a renamed or deleted experiment cannot leave a
+// stale .txt rotting in the store.
+func verifyGolden(w io.Writer, arts []artifact, dir string, full bool) error {
+	var bad []string
+	for _, a := range arts {
+		path := filepath.Join(dir, a.id+".txt")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s: missing golden file %s (run elbench -update)", a.id, path))
+			continue
+		}
+		if string(want) != a.text {
+			bad = append(bad, fmt.Sprintf("%s: differs from %s (got %d bytes sha %.12s, want %d bytes sha %.12s)",
+				a.id, path, len(a.text), sha256Hex(a.text), len(want), sha256Hex(string(want))))
+		}
+	}
+	if full {
+		orphans, err := orphanedGoldens(dir, arts)
+		if err != nil {
+			return err
+		}
+		for _, name := range orphans {
+			bad = append(bad, fmt.Sprintf("%s: orphaned golden file with no matching experiment (stale after a rename? run elbench -update)",
+				filepath.Join(dir, name)))
+		}
+	}
+	if len(bad) > 0 {
+		msg := fmt.Sprintf("golden verify failed for %d of %d artifact(s):", len(bad), len(arts))
+		for _, b := range bad {
+			msg += "\n  " + b
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	_, err := fmt.Fprintf(w, "golden: %d/%d artifacts match %s\n", len(arts), len(arts), dir)
+	return err
+}
+
+// updateGolden rewrites the golden store from the regenerated
+// artifacts, deleting orphans on a full run. Commit the result only
+// when an artifact change is intentional — the diff is the review
+// surface.
+func updateGolden(w io.Writer, arts []artifact, dir string, full bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range arts {
+		if err := os.WriteFile(filepath.Join(dir, a.id+".txt"), []byte(a.text), 0o644); err != nil {
+			return err
+		}
+	}
+	removed := 0
+	if full {
+		orphans, err := orphanedGoldens(dir, arts)
+		if err != nil {
+			return err
+		}
+		for _, name := range orphans {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+			removed++
+		}
+	}
+	_, err := fmt.Fprintf(w, "golden: wrote %d artifact(s) to %s (%d orphan(s) removed)\n", len(arts), dir, removed)
+	return err
 }

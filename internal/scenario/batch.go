@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elearncloud/internal/sim"
 )
@@ -63,12 +64,23 @@ func SeedFor(seed uint64, name string) uint64 { return sim.SeedFor(seed, name) }
 //
 // Acquire/Release are exported so side tasks can share the same global
 // concurrency cap; ForEach callers never need them.
+//
+// The pool also keeps lock-free execution telemetry — jobs run, helpers
+// recruited, cross-batch hand-offs, peak concurrency, token-idle time —
+// snapshotted by Stats and attributable per scope via WithMeter (see
+// telemetry.go). Telemetry never feeds back into scheduling, so it
+// cannot perturb the determinism contract above.
 type Pool struct {
-	// tokens carries free helper tokens. Capacity exceeds the steady
-	// count (workers-1) so waiting callers can transiently donate their
-	// own slot without blocking.
-	tokens  chan struct{}
+	// tokens carries free helper tokens, each stamped with the time it
+	// was parked so Stats can report cumulative token-idle time.
+	// Capacity exceeds the steady count (workers-1) so waiting callers
+	// can transiently donate their own slot without blocking.
+	tokens  chan time.Time
 	workers int
+	// stats is shared by every WithMeter view of the pool; meter, when
+	// non-nil, additionally attributes jobs run through this view.
+	stats *poolStats
+	meter *Meter
 }
 
 // NewPool returns a pool enforcing a global concurrency cap of workers
@@ -79,9 +91,14 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	p := &Pool{tokens: make(chan struct{}, 2*workers), workers: workers}
+	p := &Pool{
+		tokens:  make(chan time.Time, 2*workers),
+		workers: workers,
+		stats:   &poolStats{},
+	}
+	now := time.Now()
 	for i := 0; i < workers-1; i++ {
-		p.tokens <- struct{}{}
+		p.tokens <- now
 	}
 	return p
 }
@@ -94,7 +111,8 @@ func (p *Pool) Workers() int { return p.workers }
 // paired with exactly one Release.
 func (p *Pool) Acquire(ctx context.Context) error {
 	select {
-	case <-p.tokens:
+	case parked := <-p.tokens:
+		p.stats.noteIdle(parked)
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -104,7 +122,8 @@ func (p *Pool) Acquire(ctx context.Context) error {
 // TryAcquire takes a helper token if one is free right now.
 func (p *Pool) TryAcquire() bool {
 	select {
-	case <-p.tokens:
+	case parked := <-p.tokens:
+		p.stats.noteIdle(parked)
 		return true
 	default:
 		return false
@@ -116,7 +135,7 @@ func (p *Pool) TryAcquire() bool {
 // overfull pool panics.
 func (p *Pool) Release() {
 	select {
-	case p.tokens <- struct{}{}:
+	case p.tokens <- time.Now():
 	default:
 		panic("scenario: Pool.Release without matching Acquire")
 	}
@@ -126,10 +145,17 @@ func (p *Pool) Release() {
 // blocks. It is best-effort: a full pool means nobody is starved, so
 // skipping the donation is fine.
 func (p *Pool) donate() bool {
+	// Park the donor in netActive BEFORE the token becomes visible: a
+	// racing recruiter can convert the token into a helper immediately,
+	// and that helper's peak sample must already see the donor's -1 or
+	// PeakConcurrent could read above the worker cap.
+	p.stats.netActive.Add(-1)
 	select {
-	case p.tokens <- struct{}{}:
+	case p.tokens <- time.Now():
+		p.stats.donations.Add(1)
 		return true
 	default:
+		p.stats.netActive.Add(1)
 		return false
 	}
 }
@@ -153,6 +179,8 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	p.stats.inFlight.Add(1)
+	defer p.stats.inFlight.Add(-1)
 	errs := make([]error, n)
 	var minFailed atomic.Int64
 	minFailed.Store(int64(n)) // sentinel: nothing failed yet
@@ -163,6 +191,9 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		if int64(i) > minFailed.Load() {
 			return
 		}
+		p.stats.jobs.Add(1)
+		p.meter.add()
+		p.stats.notePeak()
 		if err := fn(i); err != nil {
 			errs[i] = err
 			for {
@@ -204,9 +235,19 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 				}
 				spawned.Add(1)
 				helpers.Add(1)
+				p.stats.recruits.Add(1)
+				// A recruit while another batch shares the pool is a
+				// shared-capacity grant a static per-level budget could
+				// not have made; see PoolStats.Handoffs for semantics.
+				if p.stats.inFlight.Load() > 1 {
+					p.stats.handoffs.Add(1)
+				}
 				go func() {
 					defer helpers.Done()
 					defer p.Release()
+					p.stats.netActive.Add(1)
+					defer p.stats.netActive.Add(-1)
+					p.stats.notePeak()
 					for i := range idx {
 						run(i)
 					}
@@ -232,6 +273,7 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	helpers.Wait()
 	if donated {
 		_ = p.Acquire(context.Background())
+		p.stats.netActive.Add(1)
 	}
 	for _, err := range errs {
 		if err != nil {

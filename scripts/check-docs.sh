@@ -5,6 +5,13 @@
 # skipped; relative targets are resolved against the linking file's
 # directory and checked for existence, so a doc rename that strands a
 # reference breaks the build instead of rotting quietly.
+#
+# The docs also cite golden artifacts by path (ARCHITECTURE.md's
+# Telemetry section, README's -verify workflow), usually in backticks
+# rather than markdown links — so every testdata/golden/... path
+# mentioned anywhere in the scanned docs is additionally checked
+# against the store, and a renamed or deleted golden file breaks the
+# build too.
 set -eu
 
 files="README.md ARCHITECTURE.md ROADMAP.md"
@@ -27,6 +34,19 @@ for f in $files; do
         [ -n "$target" ] || continue
         if [ ! -e "$dir/$target" ]; then
             echo "check-docs: $f links to nonexistent repo file: $target" >&2
+            fail=1
+        fi
+    done
+done
+
+# Golden-store citations: any testdata/golden/... path a doc mentions
+# (linked or in backticks) must exist. Placeholder forms like
+# testdata/golden/<id>.txt are skipped by the character class.
+for f in $files; do
+    [ -f "$f" ] || continue
+    for path in $(grep -oE 'testdata/golden/[A-Za-z0-9._-]+' "$f" | sort -u); do
+        if [ ! -e "$path" ]; then
+            echo "check-docs: $f cites nonexistent golden artifact: $path" >&2
             fail=1
         fi
     done
