@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elearncloud/internal/benchrec"
+)
+
+// writeRecord marshals a record into dir and returns its path.
+func writeRecord(t *testing.T, dir, name string, rec *benchrec.SuiteRecord) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// compareRecord is a small but realistic suite record for CLI tests.
+func compareRecord() *benchrec.SuiteRecord {
+	return &benchrec.SuiteRecord{
+		Schema: benchrec.Schema, Seed: 1, Parallel: 4, GOMAXPROCS: 1,
+		GoVersion: "go1.24.0", SuiteWallMS: 5000,
+		ArtifactSHA256: strings.Repeat("aa", 32),
+		Experiments: []benchrec.ExperimentRecord{
+			{ID: "table1", Title: "t1", WallMS: 700, Jobs: 4, Bytes: 100, SHA256: strings.Repeat("11", 32)},
+			{ID: "table2", Title: "t2", WallMS: 4000, Jobs: 3, Bytes: 200, SHA256: strings.Repeat("22", 32)},
+		},
+		Pool: benchrec.PoolRecord{Workers: 4, JobsRun: 10, PeakConcurrent: 4, TokenIdleMS: 500},
+	}
+}
+
+// TestCompareSelfExitsZero: comparing a record against itself is the
+// clean-path contract -compare's exit code rests on.
+func TestCompareSelfExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRecord(t, dir, "rec.json", compareRecord())
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", path, path}, &buf); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0 regressions") || !strings.Contains(out, "2 unchanged") {
+		t.Errorf("self-compare report wrong:\n%s", out)
+	}
+}
+
+// TestCompareDetectsSlowdown is the acceptance gate: a synthetically
+// slowed record must make -compare exit non-zero, report-only mode
+// must swallow exactly that failure, and a loosened -compare-threshold
+// must clear it.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := compareRecord()
+	slowed := compareRecord()
+	slowed.Experiments[1].WallMS = 8000 // 2.00x over a 4000 ms base, far past the 250 ms floor
+	oldPath := writeRecord(t, dir, "old.json", old)
+	newPath := writeRecord(t, dir, "new.json", slowed)
+
+	var buf bytes.Buffer
+	err := run([]string{"-compare", oldPath, newPath}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("2x slowdown not fatal: %v", err)
+	}
+	// The report must have been written before the failure so CI logs
+	// show what regressed.
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "table2") {
+		t.Errorf("failing compare wrote no usable report:\n%s", buf.String())
+	}
+	// Report-only: same comparison, exit 0.
+	if err := run([]string{"-compare", "-compare-report-only", oldPath, newPath}, io.Discard); err != nil {
+		t.Errorf("-compare-report-only still failed: %v", err)
+	}
+	// A threshold above the observed 2.00x ratio clears it.
+	if err := run([]string{"-compare", "-compare-threshold", "2.5", oldPath, newPath}, io.Discard); err != nil {
+		t.Errorf("loosened threshold still failed: %v", err)
+	}
+}
+
+// TestCompareStrictSHADrift: output drift is report-only by default
+// and fatal only under -compare-strict.
+func TestCompareStrictSHADrift(t *testing.T) {
+	dir := t.TempDir()
+	old := compareRecord()
+	drifted := compareRecord()
+	drifted.Experiments[0].SHA256 = strings.Repeat("33", 32)
+	drifted.ArtifactSHA256 = strings.Repeat("bb", 32)
+	oldPath := writeRecord(t, dir, "old.json", old)
+	newPath := writeRecord(t, dir, "new.json", drifted)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", oldPath, newPath}, &buf); err != nil {
+		t.Fatalf("pure output drift failed the default gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "drift") {
+		t.Errorf("drift not reported:\n%s", buf.String())
+	}
+	err := run([]string{"-compare", "-compare-strict", oldPath, newPath}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "drift") {
+		t.Fatalf("-compare-strict ignored output drift: %v", err)
+	}
+	// Strict + report-only: report-only wins (the CI annotation mode).
+	if err := run([]string{"-compare", "-compare-strict", "-compare-report-only", oldPath, newPath}, io.Discard); err != nil {
+		t.Errorf("report-only did not override strict: %v", err)
+	}
+}
+
+// TestCompareFormats: all three renderers run through the CLI, and the
+// json one round-trips.
+func TestCompareFormats(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRecord(t, dir, "rec.json", compareRecord())
+	for _, format := range []string{"text", "markdown", "json"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-compare", "-compare-format", format, path, path}, &buf); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %s wrote nothing", format)
+		}
+		if format == "json" {
+			var rep benchrec.Report
+			if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+				t.Errorf("json report does not parse: %v", err)
+			}
+		}
+	}
+	if err := run([]string{"-compare", "-compare-format", "yaml", path, path}, io.Discard); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestCompareRejectsMalformedRecord: a truncated record file is a load
+// error, not a zero-valued comparison.
+func TestCompareRejectsMalformedRecord(t *testing.T) {
+	dir := t.TempDir()
+	good := writeRecord(t, dir, "good.json", compareRecord())
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema": "elearncloud/bench/v1", "exp`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", good, bad}, io.Discard); err == nil {
+		t.Error("truncated new record accepted")
+	}
+	if err := run([]string{"-compare", bad, good}, io.Discard); err == nil {
+		t.Error("truncated old record accepted")
+	}
+}
+
+// TestCompareCommittedBaselines: the repo's own baseline pair must
+// compare cleanly in report-only mode — the same invocation shape the
+// CI bench-compare job uses (wall-clocks may legitimately drift
+// between container generations; artifact bytes must not).
+func TestCompareCommittedBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", "-compare-report-only",
+		"../../BENCH_PR3.json", "../../BENCH_PR4.json"}, &buf); err != nil {
+		t.Fatalf("baseline compare errored: %v", err)
+	}
+	if !strings.Contains(buf.String(), "0 output drifts") {
+		t.Errorf("committed baselines show artifact drift:\n%s", buf.String())
+	}
+}

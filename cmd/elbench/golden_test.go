@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"elearncloud/internal/benchrec"
 )
 
 // repoGolden is the committed golden store, relative to this package.
@@ -117,11 +119,11 @@ func TestJSONRecord(t *testing.T) {
 	if err := run([]string{"-json", "-id", "figure3", "-parallel", "4"}, &buf); err != nil {
 		t.Fatal(err)
 	}
-	var rec suiteRecord
+	var rec benchrec.SuiteRecord
 	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
 		t.Fatalf("record is not valid JSON: %v", err)
 	}
-	if rec.Schema != "elearncloud/bench/v1" {
+	if rec.Schema != benchrec.Schema {
 		t.Errorf("schema = %q", rec.Schema)
 	}
 	if rec.Seed != 1 || rec.Parallel != 4 {
@@ -159,6 +161,16 @@ func TestModeFlagConflicts(t *testing.T) {
 		{"-csv", "-update"},
 		{"-verify", "-seed", "2"},
 		{"-update", "-seed", "2"},
+		{"-compare", "-json", "a.json", "b.json"},
+		{"-compare", "-csv", "a.json", "b.json"},
+		{"-compare", "-id", "table1", "a.json", "b.json"},
+		{"-compare", "-seed", "2", "a.json", "b.json"},     // generation flags rejected...
+		{"-compare", "-parallel", "8", "a.json", "b.json"}, // ...not silently ignored
+		{"-compare", "-golden", "dir", "a.json", "b.json"},
+		{"-compare-strict"},              // compare-* flags require -compare
+		{"-compare-threshold", "1.5"},    // ditto
+		{"-compare", "only-one.json"},    // needs exactly two paths
+		{"-compare", "a.json", "b.json"}, // neither record exists
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("%v accepted", args)

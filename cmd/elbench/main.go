@@ -7,6 +7,7 @@
 //	elbench -json                       # machine-readable perf record
 //	elbench -verify [-golden DIR]       # diff artifacts against the golden store
 //	elbench -update [-golden DIR]       # regenerate the golden store
+//	elbench -compare old.json new.json  # diff two perf records, fail on regression
 //
 // With -id, only the named experiment runs; with -csv the table is
 // emitted as CSV instead of aligned text. -parallel is a true global
@@ -18,12 +19,24 @@
 // scenario job's randomness is fixed at submission by its config and
 // seed, and batch results are collected in submission order.
 //
-// -json replaces the artifact text with one JSON suite record: per
+// -json replaces the artifact text with one JSON suite record
+// (internal/benchrec's SuiteRecord, schema elearncloud/bench/v1): per
 // experiment the wall-clock, jobs run (attributed via scenario.Meter),
 // artifact size and SHA-256; plus the shared pool's realized-execution
 // telemetry (scenario.PoolStats) and the SHA-256 of the concatenated
-// artifact bytes. BENCH_PR3.json at the repo root is a committed record
-// — the perf baseline new runs are compared against.
+// artifact bytes. BENCH_PR4.json at the repo root is the committed
+// baseline new runs are compared against (BENCH_PR3.json is its
+// predecessor, kept for the trajectory).
+//
+// -compare loads two such records and reports per-experiment
+// wall-clock deltas, artifact output drift, experiments added/removed,
+// and pool-utilization drift (see ARCHITECTURE.md's "Comparing perf
+// records"). It exits non-zero only on a wall-clock regression — new
+// wall strictly above -compare-threshold × old and strictly more than
+// -compare-floor-ms slower — or, with -compare-strict, on output
+// drift. -compare-report-only prints the same report but always exits
+// zero (how the noisy-runner CI job uses it), and -compare-format
+// picks text (default), markdown, or json.
 //
 // -verify re-renders every artifact and diffs it byte-for-byte against
 // testdata/golden/<id>.txt, failing on any drift; -update rewrites the
@@ -35,15 +48,16 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
+	"elearncloud/internal/benchrec"
 	"elearncloud/internal/experiments"
 	"elearncloud/internal/scenario"
 )
@@ -63,40 +77,6 @@ type artifact struct {
 	jobs      uint64
 }
 
-// suiteRecord is the schema-stable machine-readable output of -json.
-// Field order is emission order; additions must append, never reorder
-// or rename, so committed records (BENCH_PR3.json) stay comparable.
-type suiteRecord struct {
-	Schema         string             `json:"schema"`
-	Seed           uint64             `json:"seed"`
-	Parallel       int                `json:"parallel"`
-	GOMAXPROCS     int                `json:"gomaxprocs"`
-	GoVersion      string             `json:"go_version"`
-	SuiteWallMS    float64            `json:"suite_wall_ms"`
-	ArtifactSHA256 string             `json:"artifact_sha256"`
-	Experiments    []experimentRecord `json:"experiments"`
-	Pool           poolRecord         `json:"pool"`
-}
-
-type experimentRecord struct {
-	ID     string  `json:"id"`
-	Title  string  `json:"title"`
-	WallMS float64 `json:"wall_ms"`
-	Jobs   uint64  `json:"jobs"`
-	Bytes  int     `json:"bytes"`
-	SHA256 string  `json:"sha256"`
-}
-
-type poolRecord struct {
-	Workers        int     `json:"workers"`
-	JobsRun        uint64  `json:"jobs_run"`
-	HelperRecruits uint64  `json:"helper_recruits"`
-	Handoffs       uint64  `json:"handoffs"`
-	Donations      uint64  `json:"donations"`
-	PeakConcurrent int     `json:"peak_concurrent"`
-	TokenIdleMS    float64 `json:"token_idle_ms"`
-}
-
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -109,8 +89,31 @@ func run(args []string, w io.Writer) error {
 	update := fs.Bool("update", false, "rewrite the golden store from regenerated artifacts")
 	golden := fs.String("golden", filepath.Join("testdata", "golden"),
 		"golden artifact directory used by -verify and -update")
+	compare := fs.Bool("compare", false,
+		"compare two perf records (elbench -compare old.json new.json) and fail on wall-clock regression")
+	compareThreshold := fs.Float64("compare-threshold", 1.25,
+		"wall-clock ratio a -compare experiment must strictly exceed to count as a regression")
+	compareFloor := fs.Float64("compare-floor-ms", 250,
+		"noise floor for -compare: deltas at or under this many ms never regress, whatever the ratio")
+	compareStrict := fs.Bool("compare-strict", false,
+		"make -compare fail on artifact SHA drift too (output drift is otherwise report-only)")
+	compareReportOnly := fs.Bool("compare-report-only", false,
+		"print the -compare report but always exit zero (for noisy CI runners)")
+	compareFormat := fs.String("compare-format", "text",
+		"-compare report format: text, markdown or json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !*compare {
+		var orphan []string
+		fs.Visit(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Name, "compare-") {
+				orphan = append(orphan, "-"+f.Name)
+			}
+		})
+		if len(orphan) > 0 {
+			return fmt.Errorf("%s only apply with -compare", strings.Join(orphan, ", "))
+		}
 	}
 	// Seed 0 is the batch runner's "derive from (seed, job name)"
 	// sentinel: batched jobs would be silently reseeded while direct
@@ -119,19 +122,44 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-seed 0 is reserved (zero means \"derive\" inside scenario batches); pass a nonzero seed")
 	}
 	modes := 0
-	for _, on := range []bool{*jsonOut, *verify, *update} {
+	for _, on := range []bool{*jsonOut, *verify, *update, *compare} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-json, -verify and -update are mutually exclusive")
+		return fmt.Errorf("-json, -verify, -update and -compare are mutually exclusive")
 	}
 	if *csv && modes > 0 {
 		return fmt.Errorf("-csv applies only to plain text output (the golden store and perf records are text-mode)")
 	}
 	if (*verify || *update) && *seed != 1 {
 		return fmt.Errorf("the golden store is pinned at seed 1; -verify/-update with -seed %d would always drift", *seed)
+	}
+	if *compare {
+		// Compare is pure record arithmetic — nothing is simulated, so
+		// the generation flags have nothing to act on; reject them
+		// rather than silently ignoring an explicit setting.
+		var gen []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed", "id", "parallel", "golden":
+				gen = append(gen, "-"+f.Name)
+			}
+		})
+		if len(gen) > 0 {
+			return fmt.Errorf("%s: artifact-generation flags do not apply to -compare, which only reads records", strings.Join(gen, ", "))
+		}
+		return runCompare(w, fs.Args(), compareOptions{
+			thresholds: benchrec.Thresholds{
+				Ratio:    *compareThreshold,
+				FloorMS:  *compareFloor,
+				IdleFrac: benchrec.DefaultThresholds().IdleFrac,
+			},
+			strict:     *compareStrict,
+			reportOnly: *compareReportOnly,
+			format:     *compareFormat,
+		})
 	}
 
 	var list []experiments.Experiment
@@ -205,18 +233,85 @@ func sha256Hex(s string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// compareOptions carries the -compare-* flag values into runCompare.
+type compareOptions struct {
+	thresholds benchrec.Thresholds
+	strict     bool
+	reportOnly bool
+	format     string
+}
+
+// runCompare loads the two record paths left as positional args, diffs
+// them with internal/benchrec, writes the report in the chosen format,
+// and decides the exit status: wall-clock regressions fail, output
+// drift fails only under -compare-strict, and -compare-report-only
+// never fails. The report is written before the verdict error so a
+// failing CI step still shows what regressed.
+func runCompare(w io.Writer, paths []string, opts compareOptions) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-compare needs exactly two record paths (old.json new.json), got %d", len(paths))
+	}
+	switch opts.format {
+	case "text", "markdown", "json":
+	default:
+		// Checked before any record is loaded so a typo fails fast.
+		return fmt.Errorf("unknown -compare-format %q (want text, markdown or json)", opts.format)
+	}
+	old, err := benchrec.Load(paths[0])
+	if err != nil {
+		return err
+	}
+	new, err := benchrec.Load(paths[1])
+	if err != nil {
+		return err
+	}
+	rep, err := benchrec.Compare(old, new, opts.thresholds)
+	if err != nil {
+		return err
+	}
+	rep.OldLabel, rep.NewLabel = paths[0], paths[1]
+	switch opts.format {
+	case "text":
+		if _, err := io.WriteString(w, rep.Text()); err != nil {
+			return err
+		}
+	case "markdown":
+		if _, err := io.WriteString(w, rep.Markdown()); err != nil {
+			return err
+		}
+	default: // json; the format set was validated before loading
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(out); err != nil {
+			return err
+		}
+	}
+	if opts.reportOnly {
+		return nil
+	}
+	if rep.HasRegression() {
+		return fmt.Errorf("perf regression vs %s: %s", paths[0], rep.Summary())
+	}
+	if opts.strict && rep.HasOutputDrift() {
+		return fmt.Errorf("artifact output drift vs %s (fatal under -compare-strict): %s", paths[0], rep.Summary())
+	}
+	return nil
+}
+
 // emitRecord writes the -json suite record: per-experiment accounting
-// plus the shared pool's telemetry.
+// plus the shared pool's telemetry, in benchrec's schema-stable form.
 func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
 	suiteWall time.Duration, stats scenario.PoolStats) error {
-	rec := suiteRecord{
-		Schema:      "elearncloud/bench/v1",
+	rec := benchrec.SuiteRecord{
+		Schema:      benchrec.Schema,
 		Seed:        seed,
 		Parallel:    parallel,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		GoVersion:   runtime.Version(),
 		SuiteWallMS: float64(suiteWall) / float64(time.Millisecond),
-		Pool: poolRecord{
+		Pool: benchrec.PoolRecord{
 			Workers:        stats.Workers,
 			JobsRun:        stats.JobsRun,
 			HelperRecruits: stats.HelperRecruits,
@@ -229,7 +324,7 @@ func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
 	var all bytes.Buffer
 	for _, a := range arts {
 		all.WriteString(a.text)
-		rec.Experiments = append(rec.Experiments, experimentRecord{
+		rec.Experiments = append(rec.Experiments, benchrec.ExperimentRecord{
 			ID:     a.id,
 			Title:  a.title,
 			WallMS: float64(a.wall) / float64(time.Millisecond),
@@ -239,12 +334,7 @@ func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
 		})
 	}
 	rec.ArtifactSHA256 = sha256Hex(all.String())
-	out, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "%s\n", out)
-	return err
+	return rec.Encode(w)
 }
 
 // orphanedGoldens lists .txt files in the store with no matching

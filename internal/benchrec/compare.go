@@ -1,0 +1,259 @@
+package benchrec
+
+import (
+	"fmt"
+)
+
+// Thresholds configures what Compare counts as a wall-clock regression
+// and as utilization drift. The zero value is invalid; start from
+// DefaultThresholds.
+type Thresholds struct {
+	// Ratio is the wall-clock regression multiplier: an experiment
+	// regresses only when its new wall-clock is *strictly more* than
+	// Ratio × old (so a delta landing exactly on the ratio is still
+	// within threshold). Must be ≥ 1.
+	Ratio float64 `json:"ratio"`
+	// FloorMS is the noise floor: however bad the ratio, a delta is
+	// ignored unless the absolute wall-clock change also exceeds
+	// FloorMS. Sub-millisecond experiments (figure7, table7) routinely
+	// double from scheduler jitter alone; the floor keeps them from
+	// crying wolf. Must be ≥ 0.
+	FloorMS float64 `json:"floor_ms"`
+	// IdleFrac is the absolute pool idle-fraction change (see
+	// SuiteRecord.IdleFraction) flagged as utilization drift.
+	// Utilization drift is advisory — it annotates the report but never
+	// makes HasRegression true, because idle time measures the runner's
+	// provisioning, not the workload's speed. Must be ≥ 0.
+	IdleFrac float64 `json:"idle_frac"`
+}
+
+// DefaultThresholds matches the elbench CLI defaults: regression above
+// 1.25× over a 250 ms noise floor, utilization drift above a 0.10
+// absolute idle-fraction change.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Ratio: 1.25, FloorMS: 250, IdleFrac: 0.10}
+}
+
+// Class is the verdict Compare assigns to one experiment's wall-clock
+// delta. It marshals as its string form in the JSON report.
+type Class string
+
+const (
+	// Unchanged: the delta stayed inside the ratio threshold or under
+	// the noise floor.
+	Unchanged Class = "unchanged"
+	// Faster: the symmetric opposite of Regression — old wall-clock
+	// strictly exceeds Ratio × new, by more than the floor.
+	Faster Class = "faster"
+	// Regression: new wall-clock strictly exceeds Ratio × old, by more
+	// than the floor. The only class that makes HasRegression true.
+	Regression Class = "regression"
+	// Added: the experiment exists only in the new record. A rename
+	// shows up as one Added plus one Removed — ids are identity, there
+	// is no fuzzy matching.
+	Added Class = "added"
+	// Removed: the experiment exists only in the old record.
+	Removed Class = "removed"
+)
+
+// ExperimentDelta is one experiment's comparison row. For Added rows
+// the Old* fields are zero; for Removed rows the New* fields are.
+type ExperimentDelta struct {
+	ID    string `json:"id"`
+	Class Class  `json:"class"`
+	// OldMS and NewMS are the wall-clocks being compared; Ratio is
+	// NewMS/OldMS (0 when the experiment is Added/Removed or OldMS is 0).
+	OldMS float64 `json:"old_ms"`
+	NewMS float64 `json:"new_ms"`
+	Ratio float64 `json:"ratio"`
+	// OutputDrift reports that the artifact's SHA-256 changed between
+	// the records. It is deliberately separate from Class: different
+	// bytes mean the experiment computed something else, which is a
+	// correctness question for the golden store — not evidence the
+	// runner got slower — so it never feeds the perf verdict.
+	OutputDrift bool   `json:"output_drift,omitempty"`
+	OldJobs     uint64 `json:"old_jobs"`
+	NewJobs     uint64 `json:"new_jobs"`
+}
+
+// PoolDelta compares the two records' suite-level pool telemetry.
+type PoolDelta struct {
+	Old         PoolRecord `json:"old"`
+	New         PoolRecord `json:"new"`
+	OldIdleFrac float64    `json:"old_idle_frac"`
+	NewIdleFrac float64    `json:"new_idle_frac"`
+	// Drift is true when the absolute idle-fraction change exceeds
+	// Thresholds.IdleFrac. Advisory only; see Thresholds.IdleFrac.
+	Drift bool `json:"drift"`
+}
+
+// Report is the full result of comparing two suite records. OldLabel
+// and NewLabel are display names (typically the record file paths) the
+// renderers print; Compare leaves them empty for the caller to fill.
+type Report struct {
+	OldLabel   string     `json:"old_label,omitempty"`
+	NewLabel   string     `json:"new_label,omitempty"`
+	Thresholds Thresholds `json:"thresholds"`
+	SuiteOldMS float64    `json:"suite_old_ms"`
+	SuiteNewMS float64    `json:"suite_new_ms"`
+	// SuiteSHADrift reports that the two records' concatenated-artifact
+	// hashes differ. It is the raw artifact_sha256 comparison, not a
+	// rollup of the per-row OutputDrift flags: it is order-sensitive
+	// and can stay false when individual drifts cancel out in the
+	// concatenation (HasOutputDrift checks both levels).
+	SuiteSHADrift bool `json:"suite_sha_drift"`
+	// Experiments lists every id from either record: the old record's
+	// order first (shared and removed ids), then ids new to the new
+	// record in its order.
+	Experiments []ExperimentDelta `json:"experiments"`
+	Pool        PoolDelta         `json:"pool"`
+}
+
+// Compare validates both records and classifies every per-experiment
+// wall-clock delta, artifact-hash change, and the suite-level pool
+// utilization drift under the given thresholds. It never consults the
+// host clock: everything comes from the two records, so comparing the
+// same pair twice yields byte-identical reports.
+func Compare(old, new *SuiteRecord, t Thresholds) (*Report, error) {
+	if t.Ratio < 1 {
+		return nil, fmt.Errorf("threshold ratio %v must be ≥ 1 (1 flags any above-floor slowdown)", t.Ratio)
+	}
+	if t.FloorMS < 0 {
+		return nil, fmt.Errorf("noise floor %v ms must be ≥ 0", t.FloorMS)
+	}
+	if t.IdleFrac < 0 {
+		return nil, fmt.Errorf("idle-fraction drift threshold %v must be ≥ 0", t.IdleFrac)
+	}
+	if err := old.Validate(); err != nil {
+		return nil, fmt.Errorf("old record: %w", err)
+	}
+	if err := new.Validate(); err != nil {
+		return nil, fmt.Errorf("new record: %w", err)
+	}
+
+	rep := &Report{
+		Thresholds:    t,
+		SuiteOldMS:    old.SuiteWallMS,
+		SuiteNewMS:    new.SuiteWallMS,
+		SuiteSHADrift: old.ArtifactSHA256 != new.ArtifactSHA256,
+		Pool: PoolDelta{
+			Old:         old.Pool,
+			New:         new.Pool,
+			OldIdleFrac: old.IdleFraction(),
+			NewIdleFrac: new.IdleFraction(),
+		},
+	}
+	d := rep.Pool.NewIdleFrac - rep.Pool.OldIdleFrac
+	if d < 0 {
+		d = -d
+	}
+	rep.Pool.Drift = d > t.IdleFrac
+
+	byID := make(map[string]ExperimentRecord, len(new.Experiments))
+	for _, e := range new.Experiments {
+		byID[e.ID] = e
+	}
+	for _, o := range old.Experiments {
+		n, ok := byID[o.ID]
+		if !ok {
+			rep.Experiments = append(rep.Experiments, ExperimentDelta{
+				ID: o.ID, Class: Removed, OldMS: o.WallMS, OldJobs: o.Jobs,
+			})
+			continue
+		}
+		delete(byID, o.ID)
+		ed := ExperimentDelta{
+			ID: o.ID, Class: Unchanged,
+			OldMS: o.WallMS, NewMS: n.WallMS,
+			OldJobs: o.Jobs, NewJobs: n.Jobs,
+			OutputDrift: o.SHA256 != n.SHA256,
+		}
+		if o.WallMS > 0 {
+			ed.Ratio = n.WallMS / o.WallMS
+		}
+		switch {
+		case n.WallMS > o.WallMS*t.Ratio && n.WallMS-o.WallMS > t.FloorMS:
+			ed.Class = Regression
+		case o.WallMS > n.WallMS*t.Ratio && o.WallMS-n.WallMS > t.FloorMS:
+			ed.Class = Faster
+		}
+		rep.Experiments = append(rep.Experiments, ed)
+	}
+	for _, n := range new.Experiments {
+		if _, ok := byID[n.ID]; ok {
+			rep.Experiments = append(rep.Experiments, ExperimentDelta{
+				ID: n.ID, Class: Added, NewMS: n.WallMS, NewJobs: n.Jobs,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// Count returns how many experiment rows carry the given class.
+func (r *Report) Count(c Class) int {
+	n := 0
+	for _, e := range r.Experiments {
+		if e.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// HasRegression reports whether any experiment's wall-clock regressed.
+// This is the gate `elbench -compare` fails on; output drift and
+// utilization drift are reported but do not trip it (see -compare-strict
+// for making output drift fatal).
+func (r *Report) HasRegression() bool {
+	return r.Count(Regression) > 0
+}
+
+// HasOutputDrift reports whether any artifact hash changed between the
+// records — per experiment or at the suite level (the latter also
+// catches a changed experiment set).
+func (r *Report) HasOutputDrift() bool {
+	if r.SuiteSHADrift {
+		return true
+	}
+	for _, e := range r.Experiments {
+		if e.OutputDrift {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary is the one-line verdict every renderer ends with, e.g.
+// "1 regression, 2 faster, 14 unchanged, 1 added, 0 removed, 3 output
+// drifts, suite sha drift, utilization drift" (the last two terms
+// appear only when flagged). Counts of zero are still printed: the
+// line is meant to be grep-stable.
+func (r *Report) Summary() string {
+	plural := func(n int, word string) string {
+		if n == 1 {
+			return fmt.Sprintf("%d %s", n, word)
+		}
+		return fmt.Sprintf("%d %ss", n, word)
+	}
+	drifts := 0
+	for _, e := range r.Experiments {
+		if e.OutputDrift {
+			drifts++
+		}
+	}
+	s := fmt.Sprintf("%s, %d faster, %d unchanged, %d added, %d removed, %s",
+		plural(r.Count(Regression), "regression"),
+		r.Count(Faster), r.Count(Unchanged), r.Count(Added), r.Count(Removed),
+		plural(drifts, "output drift"))
+	// Suite-level drift is called out separately: it can be true with
+	// zero per-experiment drifts (an added, removed or reordered
+	// experiment changes the concatenation), and the strict gate fails
+	// on it — the verdict line must not deny what the gate trips on.
+	if r.SuiteSHADrift {
+		s += ", suite sha drift"
+	}
+	if r.Pool.Drift {
+		s += ", utilization drift"
+	}
+	return s
+}

@@ -1,0 +1,206 @@
+package benchrec
+
+import (
+	"strings"
+	"testing"
+)
+
+// classOf finds one experiment's delta row in a report.
+func classOf(t *testing.T, rep *Report, id string) ExperimentDelta {
+	t.Helper()
+	for _, e := range rep.Experiments {
+		if e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("report has no row for %q: %+v", id, rep.Experiments)
+	return ExperimentDelta{}
+}
+
+// TestCompareSelf: comparing a record against itself is the identity
+// case the CLI's exit-0 path rests on — everything unchanged, nothing
+// drifted, no regression.
+func TestCompareSelf(t *testing.T) {
+	rec := testRecord()
+	rep, err := Compare(rec, rec, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasRegression() || rep.HasOutputDrift() || rep.Pool.Drift {
+		t.Errorf("self-compare flagged something: %s", rep.Summary())
+	}
+	if n := rep.Count(Unchanged); n != len(rec.Experiments) {
+		t.Errorf("unchanged = %d, want %d", n, len(rec.Experiments))
+	}
+	for _, c := range []Class{Regression, Faster, Added, Removed} {
+		if n := rep.Count(c); n != 0 {
+			t.Errorf("self-compare produced %d %s rows", n, c)
+		}
+	}
+}
+
+func TestCompareRejectsSchemaMismatch(t *testing.T) {
+	old, new := testRecord(), testRecord()
+	new.Schema = "elearncloud/bench/v2"
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil ||
+		!strings.Contains(err.Error(), "new record") {
+		t.Fatalf("v2 new record accepted: %v", err)
+	}
+	old.Schema = "something/else"
+	new.Schema = Schema
+	if _, err := Compare(old, new, DefaultThresholds()); err == nil ||
+		!strings.Contains(err.Error(), "old record") {
+		t.Fatalf("bad old record accepted: %v", err)
+	}
+}
+
+func TestCompareRejectsBadThresholds(t *testing.T) {
+	rec := testRecord()
+	if _, err := Compare(rec, rec, Thresholds{Ratio: 0.8, FloorMS: 250}); err == nil {
+		t.Error("ratio < 1 accepted")
+	}
+	if _, err := Compare(rec, rec, Thresholds{Ratio: 1.25, FloorMS: -1}); err == nil {
+		t.Error("negative floor accepted")
+	}
+	if _, err := Compare(rec, rec, Thresholds{Ratio: 1.25, FloorMS: 250, IdleFrac: -0.1}); err == nil {
+		t.Error("negative idle-fraction threshold accepted (would flag drift on every compare)")
+	}
+}
+
+// TestCompareClassification sweeps the regression boundary: the ratio
+// must be strictly exceeded AND the absolute delta must strictly
+// exceed the noise floor.
+func TestCompareClassification(t *testing.T) {
+	th := Thresholds{Ratio: 1.25, FloorMS: 250, IdleFrac: 0.10}
+	cases := []struct {
+		name         string
+		oldMS, newMS float64
+		want         Class
+	}{
+		{"identical", 1000, 1000, Unchanged},
+		{"exactly at ratio", 1000, 1250, Unchanged}, // boundary: strictly-above semantics
+		{"just above ratio", 1000, 1250.001, Regression},
+		{"big ratio under floor", 100, 300, Unchanged}, // 3x, but Δ=200 ms ≤ 250 ms floor
+		{"above ratio, delta exactly at floor", 200, 450, Unchanged},
+		{"above ratio and floor", 1000, 1300, Regression},
+		{"huge slow micro-experiment", 0.5, 200, Unchanged}, // figure7-style jitter
+		{"faster symmetric", 1300, 1000, Faster},
+		{"exactly at inverse ratio", 1250, 1000, Unchanged},
+		{"old zero new large", 0, 300, Regression},
+		{"old zero new tiny", 0, 100, Unchanged},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old := testRecord(ExperimentRecord{
+				ID: "x", Title: "x", WallMS: tc.oldMS, SHA256: testSHA(0x11)})
+			new := testRecord(ExperimentRecord{
+				ID: "x", Title: "x", WallMS: tc.newMS, SHA256: testSHA(0x11)})
+			rep, err := Compare(old, new, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := classOf(t, rep, "x").Class; got != tc.want {
+				t.Errorf("%g → %g ms classified %s, want %s", tc.oldMS, tc.newMS, got, tc.want)
+			}
+			if (tc.want == Regression) != rep.HasRegression() {
+				t.Errorf("HasRegression = %v for class %s", rep.HasRegression(), tc.want)
+			}
+		})
+	}
+}
+
+// TestCompareRename: ids are identity — a renamed experiment is one
+// Removed plus one Added, never a matched pair.
+func TestCompareRename(t *testing.T) {
+	old := testRecord(
+		ExperimentRecord{ID: "table1", Title: "t", WallMS: 700, SHA256: testSHA(0x11)},
+		ExperimentRecord{ID: "figure_old", Title: "f", WallMS: 400, SHA256: testSHA(0x22)},
+	)
+	new := testRecord(
+		ExperimentRecord{ID: "table1", Title: "t", WallMS: 700, SHA256: testSHA(0x11)},
+		ExperimentRecord{ID: "figure_new", Title: "f", WallMS: 400, SHA256: testSHA(0x22)},
+	)
+	rep, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := classOf(t, rep, "figure_old").Class; got != Removed {
+		t.Errorf("figure_old = %s, want removed", got)
+	}
+	if got := classOf(t, rep, "figure_new").Class; got != Added {
+		t.Errorf("figure_new = %s, want added", got)
+	}
+	if rep.Count(Added) != 1 || rep.Count(Removed) != 1 || rep.Count(Unchanged) != 1 {
+		t.Errorf("counts wrong: %s", rep.Summary())
+	}
+	// A rename alone is not a perf regression.
+	if rep.HasRegression() {
+		t.Error("rename flagged as regression")
+	}
+	// Row order: old-record order first, added rows last.
+	ids := make([]string, len(rep.Experiments))
+	for i, e := range rep.Experiments {
+		ids[i] = e.ID
+	}
+	if want := "table1,figure_old,figure_new"; strings.Join(ids, ",") != want {
+		t.Errorf("row order %v, want %s", ids, want)
+	}
+}
+
+// TestCompareOutputDrift: a changed artifact hash is reported as
+// output drift, orthogonal to the perf verdict.
+func TestCompareOutputDrift(t *testing.T) {
+	old := testRecord(ExperimentRecord{ID: "x", Title: "x", WallMS: 700, SHA256: testSHA(0x11)})
+	new := testRecord(ExperimentRecord{ID: "x", Title: "x", WallMS: 700, SHA256: testSHA(0x33)})
+	new.ArtifactSHA256 = testSHA(0xbb)
+	rep, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := classOf(t, rep, "x")
+	if !row.OutputDrift || row.Class != Unchanged {
+		t.Errorf("row = %+v, want unchanged with output drift", row)
+	}
+	if !rep.HasOutputDrift() || !rep.SuiteSHADrift {
+		t.Error("suite-level drift not reported")
+	}
+	if rep.HasRegression() {
+		t.Error("output drift counted as perf regression")
+	}
+	if !strings.Contains(rep.Summary(), "suite sha drift") {
+		t.Errorf("summary omits suite sha drift: %s", rep.Summary())
+	}
+	// Suite-level-only drift (same per-experiment hashes, different
+	// concatenation hash — e.g. a reorder) must still reach the
+	// summary line the strict gate's error message is built from.
+	suiteOnly := testRecord(ExperimentRecord{ID: "x", Title: "x", WallMS: 700, SHA256: testSHA(0x11)})
+	suiteOnly.ArtifactSHA256 = testSHA(0xcc)
+	rep2, err := Compare(old, suiteOnly, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.HasOutputDrift() || !strings.Contains(rep2.Summary(), "0 output drifts, suite sha drift") {
+		t.Errorf("suite-only drift misreported: %s", rep2.Summary())
+	}
+}
+
+// TestComparePoolDrift: utilization drift is advisory — flagged in the
+// report, never part of HasRegression.
+func TestComparePoolDrift(t *testing.T) {
+	old, new := testRecord(), testRecord()
+	// Old idle fraction is 330/(3×1100) = 0.1; push new far above it.
+	new.Pool.TokenIdleMS = 1200 // 1200/(3×1100) ≈ 0.364
+	rep, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pool.Drift {
+		t.Errorf("idle fraction %.3f → %.3f not flagged", rep.Pool.OldIdleFrac, rep.Pool.NewIdleFrac)
+	}
+	if rep.HasRegression() {
+		t.Error("utilization drift counted as regression")
+	}
+	if !strings.Contains(rep.Summary(), "utilization drift") {
+		t.Errorf("summary omits utilization drift: %s", rep.Summary())
+	}
+}

@@ -1,0 +1,33 @@
+// Package benchrec reads, validates and compares the machine-readable
+// perf records `elbench -json` emits (schema "elearncloud/bench/v1",
+// committed baselines BENCH_PR3.json and BENCH_PR4.json at the repo
+// root). It is the runner-side analogue of the paper's §IV
+// cost/performance comparison across deployment models: measure two
+// configurations the same way, then diff the measurements instead of
+// trusting impressions.
+//
+// Entry points:
+//
+//   - SuiteRecord / ExperimentRecord / PoolRecord — the typed schema.
+//     SuiteRecord.Encode writes the exact bytes `elbench -json` prints;
+//     Load / Decode read them back, rejecting malformed JSON and any
+//     record Validate refuses (wrong schema string, duplicate or empty
+//     experiment ids, non-SHA-256 hashes, negative wall-clocks).
+//   - Compare(old, new, Thresholds) — classifies every per-experiment
+//     wall-clock delta (Regression / Faster / Unchanged under a ratio
+//     threshold with an absolute noise floor, strictly-above semantics
+//     on both), experiments Added / Removed between the records (a
+//     rename is one of each; ids are identity), per-experiment and
+//     suite-level artifact-hash changes (OutputDrift — a correctness
+//     signal for the golden store, deliberately never part of the perf
+//     verdict), and suite-level pool-utilization drift via
+//     SuiteRecord.IdleFraction (advisory only).
+//   - Report — the classification, rendered three ways: Text (aligned
+//     table, the CLI default), Markdown (PR comments, CI step
+//     summaries), JSON (tooling). HasRegression is the exit-code gate
+//     `elbench -compare` uses; HasOutputDrift backs -compare-strict.
+//
+// Comparisons are pure functions of the two records — no clocks, no
+// filesystem — so the same pair of records always yields the same
+// report bytes, which is what lets a golden fixture pin the renderers.
+package benchrec

@@ -1,0 +1,167 @@
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema is the perf-record schema this package reads, writes and
+// compares. Records carrying any other schema string are rejected by
+// Validate: cross-version comparisons would silently mix fields with
+// different meanings.
+const Schema = "elearncloud/bench/v1"
+
+// SuiteRecord is the schema-stable machine-readable output of
+// `elbench -json`: one benchmark run of the artifact suite.
+//
+// Field order is emission order; additions must append, never reorder
+// or rename, so committed records (BENCH_PR3.json, BENCH_PR4.json)
+// stay comparable across PRs. Decoding tolerates unknown fields for
+// the same reason: an old comparator must still read a newer record's
+// common prefix.
+type SuiteRecord struct {
+	Schema         string             `json:"schema"`
+	Seed           uint64             `json:"seed"`
+	Parallel       int                `json:"parallel"`
+	GOMAXPROCS     int                `json:"gomaxprocs"`
+	GoVersion      string             `json:"go_version"`
+	SuiteWallMS    float64            `json:"suite_wall_ms"`
+	ArtifactSHA256 string             `json:"artifact_sha256"`
+	Experiments    []ExperimentRecord `json:"experiments"`
+	Pool           PoolRecord         `json:"pool"`
+}
+
+// ExperimentRecord is one experiment's accounting inside a suite run:
+// wall-clock, jobs attributed through the metered pool view, and the
+// identity (size + SHA-256) of the artifact text it rendered.
+type ExperimentRecord struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Jobs   uint64  `json:"jobs"`
+	Bytes  int     `json:"bytes"`
+	SHA256 string  `json:"sha256"`
+}
+
+// PoolRecord is the shared scenario.Pool's realized-execution telemetry
+// for the whole suite (see ARCHITECTURE.md's Telemetry section for
+// counter semantics).
+type PoolRecord struct {
+	Workers        int     `json:"workers"`
+	JobsRun        uint64  `json:"jobs_run"`
+	HelperRecruits uint64  `json:"helper_recruits"`
+	Handoffs       uint64  `json:"handoffs"`
+	Donations      uint64  `json:"donations"`
+	PeakConcurrent int     `json:"peak_concurrent"`
+	TokenIdleMS    float64 `json:"token_idle_ms"`
+}
+
+// Encode writes the record as indented JSON plus a trailing newline —
+// byte-identical to what `elbench -json` has emitted since PR 3, so
+// committed baselines stay stable under round-trips.
+func (r *SuiteRecord) Encode(w io.Writer) error {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// Decode reads one JSON suite record and validates it. Malformed or
+// truncated JSON is an error, as is any record Validate rejects.
+func Decode(r io.Reader) (*SuiteRecord, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rec SuiteRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("malformed perf record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// Load reads and validates the suite record at path.
+func Load(path string) (*SuiteRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// validSHA reports whether s has the shape of a lowercase hex SHA-256.
+func validSHA(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the structural invariants a comparable record must
+// hold: the known schema string, at least one experiment, unique
+// non-empty experiment ids, SHA-256 shaped hashes, non-negative
+// wall-clocks, and a pool sized for at least one worker.
+func (r *SuiteRecord) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("unsupported record schema %q (this comparator reads %q)", r.Schema, Schema)
+	}
+	if len(r.Experiments) == 0 {
+		return fmt.Errorf("record has no experiments")
+	}
+	if r.SuiteWallMS < 0 {
+		return fmt.Errorf("negative suite_wall_ms %v", r.SuiteWallMS)
+	}
+	if !validSHA(r.ArtifactSHA256) {
+		return fmt.Errorf("artifact_sha256 %q is not a lowercase hex SHA-256", r.ArtifactSHA256)
+	}
+	seen := make(map[string]bool, len(r.Experiments))
+	for i, e := range r.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("experiment %d has no id", i)
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.WallMS < 0 {
+			return fmt.Errorf("%s: negative wall_ms %v", e.ID, e.WallMS)
+		}
+		if !validSHA(e.SHA256) {
+			return fmt.Errorf("%s: sha256 %q is not a lowercase hex SHA-256", e.ID, e.SHA256)
+		}
+	}
+	if r.Pool.Workers < 1 {
+		return fmt.Errorf("pool workers %d (a run always has at least the root caller)", r.Pool.Workers)
+	}
+	return nil
+}
+
+// IdleFraction is the suite's pool-underutilization number: the
+// fraction of available helper-token time that sat parked, computed as
+// TokenIdleMS / ((Workers−1) × SuiteWallMS). A 1-worker pool has no
+// helper tokens, so its idle fraction is defined as 0. This is the
+// runner-side analogue of the paper's Figure 4 private-fleet
+// utilization argument (see ARCHITECTURE.md's Telemetry section).
+func (r *SuiteRecord) IdleFraction() float64 {
+	if r.Pool.Workers <= 1 || r.SuiteWallMS <= 0 {
+		return 0
+	}
+	return r.Pool.TokenIdleMS / (float64(r.Pool.Workers-1) * r.SuiteWallMS)
+}

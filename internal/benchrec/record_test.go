@@ -1,0 +1,156 @@
+package benchrec
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testSHA builds a valid-shaped (64 lowercase hex) fake digest from one
+// byte, so tests can make two artifacts differ by construction.
+func testSHA(b byte) string { return strings.Repeat(fmt.Sprintf("%02x", b), 32) }
+
+// testRecord is a minimal valid suite record tests mutate per case.
+func testRecord(exps ...ExperimentRecord) *SuiteRecord {
+	if len(exps) == 0 {
+		exps = []ExperimentRecord{
+			{ID: "table1", Title: "t1", WallMS: 700, Jobs: 4, Bytes: 10, SHA256: testSHA(0x11)},
+			{ID: "figure3", Title: "f3", WallMS: 400, Jobs: 32, Bytes: 20, SHA256: testSHA(0x22)},
+		}
+	}
+	return &SuiteRecord{
+		Schema:         Schema,
+		Seed:           1,
+		Parallel:       4,
+		GOMAXPROCS:     1,
+		GoVersion:      "go1.24.0",
+		SuiteWallMS:    1100,
+		ArtifactSHA256: testSHA(0xaa),
+		Experiments:    exps,
+		Pool: PoolRecord{
+			Workers: 4, JobsRun: 40, HelperRecruits: 4, Handoffs: 4,
+			Donations: 2, PeakConcurrent: 4, TokenIdleMS: 330,
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rec := testRecord()
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := got.Encode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Errorf("round trip not byte-stable:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+	}
+}
+
+func TestLoadRejectsMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	// A truncated record: valid prefix of real output, cut mid-object.
+	var buf bytes.Buffer
+	if err := testRecord().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string]string{
+		"garbage.json":   "not json at all {",
+		"truncated.json": buf.String()[:buf.Len()/2],
+		"empty.json":     "",
+		"wrongtop.json":  `["a", "list"]`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: malformed record accepted", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "nonexistent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*SuiteRecord)
+		wantErr string // substring; "" means valid
+	}{
+		{"valid", func(r *SuiteRecord) {}, ""},
+		{"wrong schema", func(r *SuiteRecord) { r.Schema = "elearncloud/bench/v2" }, "schema"},
+		{"empty schema", func(r *SuiteRecord) { r.Schema = "" }, "schema"},
+		{"no experiments", func(r *SuiteRecord) { r.Experiments = nil }, "no experiments"},
+		{"empty id", func(r *SuiteRecord) { r.Experiments[0].ID = "" }, "has no id"},
+		{"duplicate id", func(r *SuiteRecord) { r.Experiments[1].ID = r.Experiments[0].ID }, "duplicate"},
+		{"short sha", func(r *SuiteRecord) { r.Experiments[0].SHA256 = "abc123" }, "SHA-256"},
+		{"uppercase sha", func(r *SuiteRecord) {
+			r.Experiments[0].SHA256 = strings.Repeat("AB", 32)
+		}, "SHA-256"},
+		{"nonhex suite sha", func(r *SuiteRecord) {
+			r.ArtifactSHA256 = strings.Repeat("zz", 32)
+		}, "SHA-256"},
+		{"negative wall", func(r *SuiteRecord) { r.Experiments[0].WallMS = -1 }, "negative"},
+		{"negative suite wall", func(r *SuiteRecord) { r.SuiteWallMS = -1 }, "negative"},
+		{"zero workers", func(r *SuiteRecord) { r.Pool.Workers = 0 }, "workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := testRecord()
+			tc.mutate(rec)
+			err := rec.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid record rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestIdleFraction(t *testing.T) {
+	rec := testRecord()
+	// 330 ms idle over (4−1 workers) × 1100 ms wall = 0.1.
+	if got := rec.IdleFraction(); got < 0.0999 || got > 0.1001 {
+		t.Errorf("IdleFraction = %v, want 0.1", got)
+	}
+	rec.Pool.Workers = 1
+	if got := rec.IdleFraction(); got != 0 {
+		t.Errorf("1-worker IdleFraction = %v, want 0 (no helper tokens exist)", got)
+	}
+	rec.Pool.Workers = 4
+	rec.SuiteWallMS = 0
+	if got := rec.IdleFraction(); got != 0 {
+		t.Errorf("zero-wall IdleFraction = %v, want 0", got)
+	}
+}
+
+// TestLoadBaseline: the committed repo baselines must always satisfy
+// the validator the comparator applies to them — if this fails, the
+// bench-compare CI job is comparing against a record it would reject.
+func TestLoadBaseline(t *testing.T) {
+	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR4.json"} {
+		rec, err := Load(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rec.Experiments) != 17 {
+			t.Errorf("%s: %d experiments, want 17", name, len(rec.Experiments))
+		}
+	}
+}

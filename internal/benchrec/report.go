@@ -1,0 +1,138 @@
+package benchrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"elearncloud/internal/metrics"
+)
+
+// ms formats a wall-clock for the human renderers: one decimal is
+// plenty next to a 250 ms noise floor.
+func ms(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// ratioCell formats an experiment row's ratio column; Added/Removed
+// rows have no ratio. Cells stay ASCII because the aligned-text
+// renderer measures widths in bytes.
+func ratioCell(e ExperimentDelta) string {
+	if e.Class == Added || e.Class == Removed || e.Ratio == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", e.Ratio)
+}
+
+// jobsCell renders the jobs-attributed column.
+func jobsCell(e ExperimentDelta) string {
+	return fmt.Sprintf("%d->%d", e.OldJobs, e.NewJobs)
+}
+
+// verdictCell renders the class, upper-casing the one that fails the
+// gate so it jumps out of a 17-row table.
+func verdictCell(e ExperimentDelta) string {
+	if e.Class == Regression {
+		return "REGRESSION"
+	}
+	return string(e.Class)
+}
+
+// outputCell renders the output-drift column.
+func outputCell(e ExperimentDelta) string {
+	if e.OutputDrift {
+		return "drift"
+	}
+	if e.Class == Added || e.Class == Removed {
+		return "-"
+	}
+	return "same"
+}
+
+// header is the one-line comparison context shared by the text and
+// markdown renderers.
+func (r *Report) header() string {
+	from, to := r.OldLabel, r.NewLabel
+	if from == "" {
+		from = "old"
+	}
+	if to == "" {
+		to = "new"
+	}
+	return fmt.Sprintf("%s → %s (regression above %.2fx over a %g ms floor)",
+		from, to, r.Thresholds.Ratio, r.Thresholds.FloorMS)
+}
+
+// poolLine summarizes the suite-level pool telemetry comparison.
+func (r *Report) poolLine() string {
+	p := r.Pool
+	line := fmt.Sprintf(
+		"pool: workers %d→%d, idle fraction %.3f→%.3f, recruits %d→%d, handoffs %d→%d, donations %d→%d, peak %d→%d",
+		p.Old.Workers, p.New.Workers, p.OldIdleFrac, p.NewIdleFrac,
+		p.Old.HelperRecruits, p.New.HelperRecruits,
+		p.Old.Handoffs, p.New.Handoffs,
+		p.Old.Donations, p.New.Donations,
+		p.Old.PeakConcurrent, p.New.PeakConcurrent)
+	if p.Drift {
+		line += fmt.Sprintf(" — UTILIZATION DRIFT (|Δ idle| > %.2f, advisory)", r.Thresholds.IdleFrac)
+	}
+	return line
+}
+
+// suiteLine summarizes the whole-suite wall-clock movement.
+func (r *Report) suiteLine() string {
+	line := fmt.Sprintf("suite wall: %s ms → %s ms", ms(r.SuiteOldMS), ms(r.SuiteNewMS))
+	if r.SuiteOldMS > 0 {
+		line += fmt.Sprintf(" (%.2fx)", r.SuiteNewMS/r.SuiteOldMS)
+	}
+	if r.SuiteSHADrift {
+		line += ", suite artifact sha CHANGED"
+	}
+	return line
+}
+
+// Text renders the report as an aligned plain-text table (the same
+// renderer the artifacts use) followed by the suite, pool and summary
+// lines. This is elbench -compare's default format.
+func (r *Report) Text() string {
+	tbl := metrics.NewTable("perf compare: "+r.header(),
+		"experiment", "old ms", "new ms", "ratio", "jobs", "verdict", "output")
+	for _, e := range r.Experiments {
+		tbl.AddRow(e.ID, ms(e.OldMS), ms(e.NewMS), ratioCell(e),
+			jobsCell(e), verdictCell(e), outputCell(e))
+	}
+	tbl.AddNote("%s", r.suiteLine())
+	tbl.AddNote("%s", r.poolLine())
+	tbl.AddNote("result: %s", r.Summary())
+	return tbl.String()
+}
+
+// Markdown renders the report as a GitHub-flavored table plus summary
+// bullets — the shape meant for PR comments and CI step summaries.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### elbench perf compare\n\n")
+	fmt.Fprintf(&b, "%s\n\n", r.header())
+	b.WriteString("| experiment | old ms | new ms | ratio | jobs | verdict | output |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---|---|\n")
+	for _, e := range r.Experiments {
+		verdict := verdictCell(e)
+		if e.Class == Regression {
+			verdict = "**REGRESSION**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			e.ID, ms(e.OldMS), ms(e.NewMS), ratioCell(e),
+			jobsCell(e), verdict, outputCell(e))
+	}
+	fmt.Fprintf(&b, "\n- %s\n- %s\n- **result:** %s\n",
+		r.suiteLine(), r.poolLine(), r.Summary())
+	return b.String()
+}
+
+// JSON renders the report as indented JSON with a trailing newline,
+// for tooling that wants the classification without re-deriving it.
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

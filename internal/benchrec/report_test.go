@@ -1,0 +1,143 @@
+package benchrec
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update-report-golden regenerates the committed renderer fixtures
+// from the current code; commit the diff only when a rendering change
+// is intentional.
+var updateReportGolden = flag.Bool("update-report-golden", false,
+	"rewrite testdata/report.golden.* from the current renderers")
+
+// fixtureReport compares the two committed fixture records, which
+// between them exercise every classification: unchanged (table1),
+// regression (table2), faster (figure5), under-the-floor jitter plus
+// output drift (figure7), removed (table9), added (figure10), suite
+// SHA drift, and utilization drift.
+func fixtureReport(t *testing.T) *Report {
+	t.Helper()
+	old, err := Load(filepath.Join("testdata", "old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := Load(filepath.Join("testdata", "new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(old, new, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.OldLabel, rep.NewLabel = "testdata/old.json", "testdata/new.json"
+	return rep
+}
+
+// checkGolden compares got against the committed fixture (or rewrites
+// it under -update-report-golden).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateReportGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/benchrec -update-report-golden)", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from the committed fixture.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestReportGoldenMarkdown pins the PR-comment renderer byte-for-byte:
+// comparisons are pure functions of the records, so the fixture pair
+// must always render identically.
+func TestReportGoldenMarkdown(t *testing.T) {
+	checkGolden(t, "report.golden.md", fixtureReport(t).Markdown())
+}
+
+// TestReportGoldenText pins the CLI's default aligned-text renderer.
+func TestReportGoldenText(t *testing.T) {
+	checkGolden(t, "report.golden.txt", fixtureReport(t).Text())
+}
+
+// TestReportFixtureClassification double-checks the fixture exercises
+// what its comment claims, so a fixture edit cannot silently hollow
+// out the golden tests.
+func TestReportFixtureClassification(t *testing.T) {
+	rep := fixtureReport(t)
+	want := map[string]Class{
+		"table1":   Unchanged,
+		"table2":   Regression,
+		"figure5":  Faster,
+		"figure7":  Unchanged,
+		"table9":   Removed,
+		"figure10": Added,
+	}
+	if len(rep.Experiments) != len(want) {
+		t.Fatalf("fixture rows = %d, want %d", len(rep.Experiments), len(want))
+	}
+	for _, e := range rep.Experiments {
+		if e.Class != want[e.ID] {
+			t.Errorf("%s = %s, want %s", e.ID, e.Class, want[e.ID])
+		}
+	}
+	if row := rep.Experiments[3]; row.ID != "figure7" || !row.OutputDrift {
+		t.Errorf("figure7 should carry output drift: %+v", row)
+	}
+	if !rep.Pool.Drift || !rep.SuiteSHADrift || !rep.HasRegression() || !rep.HasOutputDrift() {
+		t.Errorf("fixture lost a flag: %s", rep.Summary())
+	}
+}
+
+// TestReportJSON: the JSON rendering round-trips and spells classes as
+// strings.
+func TestReportJSON(t *testing.T) {
+	rep := fixtureReport(t)
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(out), "\n") {
+		t.Error("JSON report should end in a newline")
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != len(rep.Experiments) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(back.Experiments), len(rep.Experiments))
+	}
+	if back.Experiments[1].Class != Regression {
+		t.Errorf("class round trip = %q", back.Experiments[1].Class)
+	}
+	if !strings.Contains(string(out), `"class": "regression"`) {
+		t.Error("classes should marshal as strings")
+	}
+}
+
+// TestSummaryGrepStable: zero counts still print, so CI logs can grep
+// for the fields unconditionally.
+func TestSummaryGrepStable(t *testing.T) {
+	rec := testRecord()
+	rep, err := Compare(rec, rec, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	for _, want := range []string{"0 regressions", "0 faster", "2 unchanged",
+		"0 added", "0 removed", "0 output drifts"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,14 +1,3 @@
-// Package cdn models an edge content-delivery network for the video
-// side of the e-learning workload. It is the reproduction's first
-// extension experiment: the headline Figure 3 finding — 2013 egress
-// pricing makes video-heavy e-learning expensive to rent — is exactly
-// why real 2013 platforms (Coursera, edX, Khan Academy) served video
-// through CDNs. The cdn package quantifies how much of the public
-// model's cost disadvantage a CDN recovers.
-//
-// Two fidelities, matching the scenario package: an exact LRU cache for
-// request-level simulation, and an analytic hit-ratio model (Zipf
-// popularity, top-K caching) for fluid cost studies.
 package cdn
 
 import (

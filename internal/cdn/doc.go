@@ -1,0 +1,23 @@
+// Package cdn models an edge content-delivery network for the video
+// side of the e-learning workload. It is the reproduction's first
+// extension experiment: the headline Figure 3 finding — 2013 egress
+// pricing makes video-heavy e-learning expensive to rent — is exactly
+// why real 2013 platforms (Coursera, edX, Khan Academy) served video
+// through CDNs. The cdn package quantifies how much of the public
+// model's cost disadvantage a CDN recovers, which is what figure8
+// (the CDN ablation on the cost crossover, §V) sweeps.
+//
+// Two fidelities, matching the scenario package:
+//
+//   - Edge (NewEdge, configured by Config / DefaultConfig) fronts the
+//     request-level simulation with an exact LRU cache (Cache,
+//     NewCache): every video request either hits at the edge or falls
+//     through to origin egress.
+//   - AnalyticHitRatio(catalogN, cacheK, s) is the closed-form
+//     companion for fluid cost studies: the expected hit ratio of
+//     caching the top-K items of a Zipf(s) popularity curve, so
+//     semester-scale TCO sweeps never have to replay requests.
+//
+// scenario.Config.EnableCDN wires an Edge into an end-to-end run; the
+// examples and figure8 show both fidelities in use.
+package cdn

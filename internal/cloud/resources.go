@@ -1,12 +1,3 @@
-// Package cloud models the infrastructure substrate of a deployment:
-// datacenters, physical hosts, virtual machines with a provisioning
-// lifecycle, placement strategies, and multi-tenant interference ("noisy
-// neighbors") for shared public-cloud hosts.
-//
-// The package is deliberately application-agnostic: it knows about CPU,
-// memory and disk, but nothing about e-learning. The lms package layers
-// request processing on top of VMs, and the deploy package decides how
-// many datacenters of which kind a deployment model gets.
 package cloud
 
 import "fmt"

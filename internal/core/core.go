@@ -1,10 +1,3 @@
-// Package core is the paper's contribution made executable: the
-// exhaustive comparison of cloud deployment models against e-learning
-// requirements (Leloğlu, Ayav & Aslan 2013, §IV-§V). It measures each
-// model with the simulation substrates, normalizes the measurements into
-// a requirement scorecard, and recommends a model for an institution
-// profile — the "customers can choose one of cloud deployment models,
-// depending on their requirements" sentence, turned into a function.
 package core
 
 import (

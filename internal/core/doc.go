@@ -1,0 +1,29 @@
+// Package core is the paper's contribution made executable: the
+// exhaustive comparison of cloud deployment models against e-learning
+// requirements (Leloğlu, Ayav & Aslan 2013, §IV-§V). It measures each
+// model with the simulation substrates, normalizes the measurements
+// into a requirement scorecard, and recommends a model for an
+// institution profile — the "customers can choose one of cloud
+// deployment models, depending on their requirements" sentence, turned
+// into a function.
+//
+// The pipeline, in call order:
+//
+//   - MeasureInputs(MeasureConfig) runs every deployment model through
+//     the same scenario workload (on a shared scenario.Pool when
+//     MeasureConfig.Pool is set — the batch is parallel-safe) and
+//     returns raw Inputs; MeasureForProfile wraps it for a named
+//     Profile.
+//   - BuildScorecard(Inputs) normalizes the raw measurements into a
+//     0–1 Scorecard over the paper's Requirements (Cost, Scalability,
+//     Security, ... — see Requirements()).
+//   - Scorecard.Recommend(Profile) weights the scorecard with the
+//     profile's priorities and ranks the models; Explain renders the
+//     recommendation as the sentence table6 prints.
+//
+// RuralSchool, MidCollege and NationalPlatform are the three built-in
+// profiles (cmd/eladvisor exposes them as -profile); the deterministic
+// latency helpers (SessionStartTime, UpdatePropagation, DeviceContinuity,
+// ExpectedCrashLoss) supply the requirement inputs that need no
+// simulation. table3 and table6 are this package's artifacts.
+package core

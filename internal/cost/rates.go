@@ -1,11 +1,3 @@
-// Package cost provides the accounting substrate: what each deployment
-// model actually costs. Public clouds bill VM-hours, egress and storage;
-// private clouds amortize capital hardware and pay for power, cooling,
-// staff and maintenance ("the organization needs to provide adequate
-// power, cooling, and general maintenance" — paper §IV.B); hybrids pay
-// both plus the integration and consultancy overhead §IV.C warns about.
-// A desktop baseline prices the pre-cloud computer-lab alternative for
-// the paper's §III merit comparison.
 package cost
 
 // PublicRates prices rented infrastructure (2013-era list prices).

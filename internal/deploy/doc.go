@@ -1,0 +1,23 @@
+// Package deploy describes the three cloud deployment models the paper
+// compares — public, private and hybrid — plus the on-premise desktop
+// baseline its Section III merits are measured against. It provides a
+// 2013-era public-provider price catalog, capacity sizing helpers, the
+// hybrid "distribution of units" policy, and a builder that turns a
+// declarative Spec into running datacenters on a simulation engine.
+//
+// Entry points:
+//
+//   - Kind enumerates the models (Public, Private, Hybrid, Desktop;
+//     Kinds() in presentation order) and is the axis every comparison
+//     artifact sweeps.
+//   - Build(engine, Spec) constructs a Deployment: the cloud.Datacenter
+//     set a model of that Kind gets, sized for the Spec's population.
+//   - DefaultProvider is the 2013 public-cloud catalog (InstanceType
+//     prices the scenario runs bill against); DefaultHybridPolicy is
+//     §IV.C's "distribution of units" — which request classes stay on
+//     the private side and which burst to public, the policy table4
+//     ablates.
+//   - ServersForPeak and VMsPerHost are the shared sizing arithmetic
+//     (peak RPS → server count, host resources → VM packing) used by
+//     both the builder and the fluid cost studies.
+package deploy

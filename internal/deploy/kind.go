@@ -1,9 +1,3 @@
-// Package deploy describes the three cloud deployment models the paper
-// compares — public, private and hybrid — plus the on-premise desktop
-// baseline its Section III merits are measured against. It provides a
-// 2013-era public-provider price catalog, capacity sizing helpers, the
-// hybrid "distribution of units" policy, and a builder that turns a
-// declarative Spec into running datacenters on a simulation engine.
 package deploy
 
 import "fmt"

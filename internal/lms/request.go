@@ -1,9 +1,3 @@
-// Package lms models the e-learning application layer: the request mix a
-// learning-management system serves (content pages, video, quizzes,
-// uploads), processor-sharing application servers running on cloud VMs,
-// a load-balanced cluster, user sessions with autosave, and the digital
-// assets ("tests, exam questions, results") whose safety the paper
-// worries about.
 package lms
 
 import (

@@ -1,8 +1,3 @@
-// Package metrics provides the measurement substrate for elearncloud
-// simulations: latency histograms with percentile queries, counters,
-// time series, an availability tracker, and plain-text/CSV table
-// rendering used by the benchmark harness to print the paper's tables
-// and figures.
 package metrics
 
 import (

@@ -1,15 +1,3 @@
-// Package migrate models the paper's portability risk: "the ability to
-// bring systems back in-house or choose another cloud provider will be
-// limited by proprietary interfaces" (§III), §IV.A's warning that
-// repatriating a public-cloud system is "relatively difficult and
-// expensive", and §IV.C's claim that the hybrid model "provides an ease
-// for bringing the e-learning system back in-house or transferring to
-// another cloud provider by decreasing platform dependence".
-//
-// A migration has three cost drivers: re-engineering the components that
-// were written against proprietary interfaces, paying egress to move the
-// data out, and the cutover freeze while the switch happens. All three
-// scale with the lock-in index, which is the quantity Figure 7 sweeps.
 package migrate
 
 import (

@@ -1,13 +1,3 @@
-// Package network models the connectivity substrate between e-learning
-// users and the datacenters that serve them: links with latency and
-// bandwidth, multi-hop paths, and stochastic failure processes for the
-// "stable Internet connections are often essential" risk the paper lists.
-//
-// The model is intentionally flow-level, not packet-level: a request
-// experiences the sum of per-link latencies plus a size/bandwidth transfer
-// term inflated by current link concurrency. That is the right fidelity
-// for comparing deployment models, where what matters is WAN vs LAN
-// latency, last-mile outages, and congestion — not TCP dynamics.
 package network
 
 import (

@@ -1,9 +1,3 @@
-// Package scale provides the elasticity substrate: autoscaling policies
-// that grow and shrink an application-server fleet in response to load.
-// The paper credits cloud e-learning with "improved performance" and the
-// public model with being the "quickest solution"; these scalers are the
-// mechanism behind that claim, and Table 5 ablates them against a fixed
-// fleet.
 package scale
 
 import (

@@ -1,0 +1,24 @@
+// Package workload generates realistic e-learning traffic: diurnal
+// day-shapes, a semester calendar with teaching/exam/vacation weeks,
+// exam-day flash crowds, and a non-homogeneous Poisson arrival process
+// over the lms request mix. Traces can be recorded and replayed as
+// JSON for reproducible cross-model comparisons. figure1 plots the
+// shapes; every scenario run consumes them.
+//
+// Entry points:
+//
+//   - NewGenerator(Config) is the main faucet: it drives a
+//     sim NHPP whose rate is the product of the configured
+//     DiurnalProfile (CampusDiurnal, FlatDiurnal, or a custom
+//     NewDiurnalProfile), the Calendar week kind, and any FlashCrowd
+//     windows, and yields an ArrivalStream of Arrivals classified by
+//     the lms Mix.
+//   - StandardSemester() is the 18-week Calendar (NewCalendar of Weeks
+//     for custom terms) behind the semester-scale studies; WeekKind
+//     distinguishes teaching, exam and vacation load.
+//   - FlashCrowd describes an exam spike (start, end, multiplier,
+//     exam-heavy traffic flag) — the §IV.A scalability stressor
+//     table5, figure2 and examples/examday inject.
+//   - Trace / ReadTrace record and replay a generated arrival sequence
+//     as JSON, pinning one workload across deployment models.
+package workload

@@ -1,8 +1,3 @@
-// Package workload generates realistic e-learning traffic: diurnal
-// day-shapes, a semester calendar with teaching/exam/vacation weeks,
-// exam-day flash crowds, and a non-homogeneous Poisson arrival process
-// over the lms request mix. Traces can be recorded and replayed as JSON
-// for reproducible cross-model comparisons.
 package workload
 
 import (

@@ -12,9 +12,14 @@
 # mentioned anywhere in the scanned docs is additionally checked
 # against the store, and a renamed or deleted golden file breaks the
 # build too.
+#
+# Finally, every internal/ package must carry a godoc package comment
+# ("// Package <name> ...") in at least one non-test file, so the doc
+# surface brought up in PR 4 cannot silently regress when a package is
+# added or its doc.go is deleted.
 set -eu
 
-files="README.md ARCHITECTURE.md ROADMAP.md"
+files="README.md ARCHITECTURE.md ROADMAP.md examples/README.md"
 fail=0
 
 for f in $files; do
@@ -52,8 +57,29 @@ for f in $files; do
     done
 done
 
+# Package doc comments: each internal package needs "// Package <pkg>"
+# in some non-test .go file (conventionally doc.go). The grep is a
+# shape check, not a position check — gofmt keeps doc comments glued to
+# the package clause, so shape is the part that can rot.
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    found=0
+    for g in "$dir"*.go; do
+        [ -f "$g" ] || continue
+        case "$g" in *_test.go) continue ;; esac
+        if grep -q "^// Package $pkg " "$g"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "check-docs: internal/$pkg has no package doc comment (// Package $pkg ... above the package clause)" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "check-docs: FAILED" >&2
     exit 1
 fi
-echo "check-docs: all markdown links resolve"
+echo "check-docs: links, golden citations and package doc comments all check out"
