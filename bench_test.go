@@ -75,6 +75,10 @@ func BenchmarkTable8PurchaseMix(b *testing.B)  { runExperiment(b, "table8") }
 func BenchmarkFigure8CDN(b *testing.B)         { runExperiment(b, "figure8") }
 func BenchmarkFigure9HostFailure(b *testing.B) { runExperiment(b, "figure9") }
 
+// MOOC-scale experiments (enrollment growth, deadline storms):
+func BenchmarkTable9GrowthModels(b *testing.B)    { runExperiment(b, "table9") }
+func BenchmarkFigure10DeadlineStorm(b *testing.B) { runExperiment(b, "figure10") }
+
 // --- substrate micro-benchmarks ----------------------------------------
 
 // BenchmarkEngineEvents measures raw event throughput of the DES kernel.

@@ -158,17 +158,23 @@ func TestCompareRejectsMalformedRecord(t *testing.T) {
 	}
 }
 
-// TestCompareCommittedBaselines: the repo's own baseline pair must
-// compare cleanly in report-only mode — the same invocation shape the
-// CI bench-compare job uses (wall-clocks may legitimately drift
-// between container generations; artifact bytes must not).
+// TestCompareCommittedBaselines: each adjacent pair of committed
+// baselines must compare cleanly in report-only mode — the same
+// invocation shape the CI bench-compare job uses (wall-clocks may
+// legitimately drift between container generations, and PR 5 adds two
+// experiments; per-experiment artifact bytes must not drift).
 func TestCompareCommittedBaselines(t *testing.T) {
-	var buf bytes.Buffer
-	if err := run([]string{"-compare", "-compare-report-only",
-		"../../BENCH_PR3.json", "../../BENCH_PR4.json"}, &buf); err != nil {
-		t.Fatalf("baseline compare errored: %v", err)
-	}
-	if !strings.Contains(buf.String(), "0 output drifts") {
-		t.Errorf("committed baselines show artifact drift:\n%s", buf.String())
+	for _, pair := range [][2]string{
+		{"../../BENCH_PR3.json", "../../BENCH_PR4.json"},
+		{"../../BENCH_PR4.json", "../../BENCH_PR5.json"},
+	} {
+		var buf bytes.Buffer
+		if err := run([]string{"-compare", "-compare-report-only",
+			pair[0], pair[1]}, &buf); err != nil {
+			t.Fatalf("%v compare errored: %v", pair, err)
+		}
+		if !strings.Contains(buf.String(), "0 output drifts") {
+			t.Errorf("committed baselines %v show artifact drift:\n%s", pair, buf.String())
+		}
 	}
 }

@@ -17,7 +17,7 @@ const repoGolden = "../../testdata/golden"
 
 // fastIDs are the artifacts cheap enough for the -short tier-1 lane
 // (analytic or fluid-only, each well under ~1.5s on one core); the full
-// run verifies all 17.
+// run verifies all 19.
 var fastIDs = []string{
 	"table1", "table7", "table8",
 	"figure1", "figure3", "figure4", "figure7", "figure8",
@@ -28,7 +28,7 @@ var fastIDs = []string{
 // committed testdata/golden bytes exactly, so a PR that silently
 // changes an artifact fails tier-1 instead of rotting the goldens. In
 // -short mode only the cheap subset runs; the full test (and the CI
-// golden job, at -parallel 1 and 4) covers all 17.
+// golden job, at -parallel 1 and 4) covers all 19.
 func TestGoldenArtifacts(t *testing.T) {
 	if !testing.Short() {
 		if err := run([]string{"-verify", "-golden", repoGolden, "-parallel", "2"}, io.Discard); err != nil {
@@ -171,6 +171,12 @@ func TestModeFlagConflicts(t *testing.T) {
 		{"-compare-threshold", "1.5"},    // ditto
 		{"-compare", "only-one.json"},    // needs exactly two paths
 		{"-compare", "a.json", "b.json"}, // neither record exists
+		{"-list", "-json"},               // -list is a mode like the others...
+		{"-list", "-verify"},
+		{"-list", "-compare", "a.json", "b.json"},
+		{"-list", "-id", "table1"}, // ...and rejects generation flags
+		{"-list", "-csv"},
+		{"-list", "-parallel", "2"},
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("%v accepted", args)

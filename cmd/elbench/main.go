@@ -4,6 +4,7 @@
 // Usage:
 //
 //	elbench [-seed N] [-id table3] [-csv] [-parallel N]
+//	elbench -list                       # print experiment ids and titles, run nothing
 //	elbench -json                       # machine-readable perf record
 //	elbench -verify [-golden DIR]       # diff artifacts against the golden store
 //	elbench -update [-golden DIR]       # regenerate the golden store
@@ -24,9 +25,9 @@
 // experiment the wall-clock, jobs run (attributed via scenario.Meter),
 // artifact size and SHA-256; plus the shared pool's realized-execution
 // telemetry (scenario.PoolStats) and the SHA-256 of the concatenated
-// artifact bytes. BENCH_PR4.json at the repo root is the committed
-// baseline new runs are compared against (BENCH_PR3.json is its
-// predecessor, kept for the trajectory).
+// artifact bytes. BENCH_PR5.json at the repo root is the committed
+// baseline new runs are compared against (BENCH_PR3.json and
+// BENCH_PR4.json are its predecessors, kept for the trajectory).
 //
 // -compare loads two such records and reports per-experiment
 // wall-clock deltas, artifact output drift, experiments added/removed,
@@ -42,6 +43,11 @@
 // testdata/golden/<id>.txt, failing on any drift; -update rewrites the
 // store. The golden files are the enforced form of the "output is
 // byte-identical" claim: CI verifies them at -parallel 1 and 4.
+//
+// -list prints one "id<TAB>title" line per registered experiment and
+// exits without simulating anything — the enumeration surface for
+// humans and for scripts/check-docs.sh's scenario-catalog cross-check
+// (docs/SCENARIOS.md must list exactly these ids).
 package main
 
 import (
@@ -101,6 +107,8 @@ func run(args []string, w io.Writer) error {
 		"print the -compare report but always exit zero (for noisy CI runners)")
 	compareFormat := fs.String("compare-format", "text",
 		"-compare report format: text, markdown or json")
+	listMode := fs.Bool("list", false,
+		"print registered experiment ids and titles (tab-separated) and exit without running anything")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,13 +130,34 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("-seed 0 is reserved (zero means \"derive\" inside scenario batches); pass a nonzero seed")
 	}
 	modes := 0
-	for _, on := range []bool{*jsonOut, *verify, *update, *compare} {
+	for _, on := range []bool{*jsonOut, *verify, *update, *compare, *listMode} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-json, -verify, -update and -compare are mutually exclusive")
+		return fmt.Errorf("-json, -verify, -update, -compare and -list are mutually exclusive")
+	}
+	if *listMode {
+		// Pure registry enumeration: nothing is simulated, so the
+		// generation flags have nothing to act on (same policy as
+		// -compare).
+		var gen []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed", "id", "parallel", "golden", "csv":
+				gen = append(gen, "-"+f.Name)
+			}
+		})
+		if len(gen) > 0 {
+			return fmt.Errorf("%s: artifact-generation flags do not apply to -list, which only reads the registry", strings.Join(gen, ", "))
+		}
+		for _, e := range experiments.All() {
+			if _, err := fmt.Fprintf(w, "%s\t%s\n", e.ID, e.Title); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	if *csv && modes > 0 {
 		return fmt.Errorf("-csv applies only to plain text output (the golden store and perf records are text-mode)")

@@ -3,12 +3,36 @@ package main
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
+
+	"elearncloud/internal/experiments"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-id", "table99"}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunList: -list enumerates the registry as one id<TAB>title line
+// per experiment, in registry order, without simulating anything (it
+// returns instantly even though a full run takes tens of seconds).
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	all := experiments.All()
+	if len(lines) != len(all) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(all))
+	}
+	for i, e := range all {
+		id, title, ok := strings.Cut(lines[i], "\t")
+		if !ok || id != e.ID || title != e.Title {
+			t.Errorf("line %d = %q, want %q<TAB>%q", i, lines[i], e.ID, e.Title)
+		}
 	}
 }
 
@@ -54,7 +78,7 @@ func TestRunParallelFlag(t *testing.T) {
 // filter keeps the check affordable in CI — table5 exercises a real
 // DES batch through the shared pool; the multi-experiment shared-pool
 // case is pinned by TestSharedPoolDeterminism in internal/experiments,
-// and the full 17-artifact identity was verified manually via cmp.
+// and the full 19-artifact identity was verified manually via cmp.
 func TestRunParallelByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a DES experiment three times; skipped in -short mode")

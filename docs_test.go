@@ -1,0 +1,77 @@
+package elearncloud_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCheckDocs executes scripts/check-docs.sh from the repo root with
+// the scenario catalog overridden, returning combined output and the
+// error (nil on exit 0).
+func runCheckDocs(t *testing.T, catalog string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("sh", filepath.Join("scripts", "check-docs.sh"))
+	cmd.Env = append(os.Environ(), "CATALOG="+catalog)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestCheckDocsCatalogCrossCheck is the negative test for the scenario
+// catalog gate: scripts/check-docs.sh must pass on the committed
+// docs/SCENARIOS.md, fail when a registered experiment is missing from
+// the catalog, and fail when the catalog names an id the registry does
+// not have. Skipped under -short: each run shells out to
+// `go run ./cmd/elbench -list`.
+func TestCheckDocsCatalogCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go toolchain; skipped in -short mode")
+	}
+	committed, err := os.ReadFile(filepath.Join("docs", "SCENARIOS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed catalog must be in sync with the registry.
+	if out, err := runCheckDocs(t, filepath.Join("docs", "SCENARIOS.md")); err != nil {
+		t.Fatalf("check-docs fails on the committed catalog: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+
+	// Direction one: drop a registered id from the catalog.
+	var kept []string
+	for _, line := range strings.Split(string(committed), "\n") {
+		if strings.Contains(line, "`table9`") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	missing := filepath.Join(dir, "missing.md")
+	if err := os.WriteFile(missing, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCheckDocs(t, missing)
+	if err == nil {
+		t.Fatalf("catalog without table9 accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "table9") || !strings.Contains(out, "missing from") {
+		t.Fatalf("missing-id failure does not name the id:\n%s", out)
+	}
+
+	// Direction two: add a row for an id the registry does not have.
+	extra := filepath.Join(dir, "extra.md")
+	doctored := string(committed) + "\n| `table99` | bogus | bogus | bogus | 0s | bogus |\n"
+	if err := os.WriteFile(extra, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCheckDocs(t, extra)
+	if err == nil {
+		t.Fatalf("catalog with unknown table99 accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "table99") || !strings.Contains(out, "no such experiment") {
+		t.Fatalf("unknown-id failure does not name the id:\n%s", out)
+	}
+}

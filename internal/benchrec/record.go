@@ -17,7 +17,7 @@ const Schema = "elearncloud/bench/v1"
 // `elbench -json`: one benchmark run of the artifact suite.
 //
 // Field order is emission order; additions must append, never reorder
-// or rename, so committed records (BENCH_PR3.json, BENCH_PR4.json)
+// or rename, so committed records (BENCH_PR3.json through BENCH_PR5.json)
 // stay comparable across PRs. Decoding tolerates unknown fields for
 // the same reason: an old comparator must still read a newer record's
 // common prefix.

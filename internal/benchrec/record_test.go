@@ -144,13 +144,17 @@ func TestIdleFraction(t *testing.T) {
 // the validator the comparator applies to them — if this fails, the
 // bench-compare CI job is comparing against a record it would reject.
 func TestLoadBaseline(t *testing.T) {
-	for _, name := range []string{"BENCH_PR3.json", "BENCH_PR4.json"} {
+	for name, want := range map[string]int{
+		"BENCH_PR3.json": 17,
+		"BENCH_PR4.json": 17,
+		"BENCH_PR5.json": 19, // + table9, figure10 (the MOOC experiments)
+	} {
 		rec, err := Load(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if len(rec.Experiments) != 17 {
-			t.Errorf("%s: %d experiments, want 17", name, len(rec.Experiments))
+		if len(rec.Experiments) != want {
+			t.Errorf("%s: %d experiments, want %d", name, len(rec.Experiments), want)
 		}
 	}
 }

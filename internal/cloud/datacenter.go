@@ -185,10 +185,14 @@ func (dc *Datacenter) RunningVMs() []*VM {
 }
 
 // VMHours returns total billable VM-hours: hours of terminated VMs plus
-// running time of live VMs up to now.
+// running time of live VMs up to now. Live VMs are summed in ID order:
+// float addition is order-sensitive at the ulp, and a map-order sum can
+// land on either side of a rendering boundary (table9's scheduled ramp
+// sits exactly on a %.1f half), which would make artifact bytes depend
+// on map iteration.
 func (dc *Datacenter) VMHours() float64 {
 	total := dc.vmHours
-	for _, vm := range dc.vms {
+	for _, vm := range dc.RunningVMs() {
 		total += vm.RunningHours(dc.eng.Now())
 	}
 	return total

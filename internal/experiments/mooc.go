@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"elearncloud/internal/cost"
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/metrics"
+	"elearncloud/internal/network"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/workload"
+)
+
+// This file holds the MOOC-scale experiments: the paper's §IV.A
+// scalability claim stressed by workloads no campus deployment faces —
+// a course whose enrollment grows 10x while it runs (table9) and a
+// graded deadline whose procrastination ramp dwarfs an exam flash
+// crowd (figure10). Both build on the internal/workload MOOC family.
+
+// moocStudentsStart/Cap bound the table9 course: a 50k-seat launch that
+// goes viral and saturates at half a million learners.
+const (
+	moocStudentsStart = 50000
+	moocStudentsCap   = 500000
+)
+
+// moocCourseWeeks is the course length; the logistic midpoint sits at
+// week 4, so enrollment is still climbing through the midterm.
+const moocCourseWeeks = 10
+
+// moocCourse returns the fluid-fidelity MOOC configuration: logistic
+// 50k→500k enrollment, a multi-timezone cohort day shape, and a lower
+// per-student rate than campus LMS usage (MOOC learners drop in; they
+// do not sit in mandatory lectures).
+func moocCourse(seed uint64, kind deploy.Kind) scenario.Config {
+	week := 7 * 24 * time.Hour
+	return scenario.Config{
+		Seed:              seed,
+		Kind:              kind,
+		Growth:            workload.LogisticGrowth(moocStudentsStart, moocStudentsCap, 4*week),
+		ReqPerStudentHour: 8,
+		Duration:          moocCourseWeeks * week,
+		Diurnal:           workload.GlobalCohort(),
+	}
+}
+
+// onboardingRamp returns the DES-fidelity growth configuration for the
+// autoscaler rows: a cohort ramp at request-level scale (1000→8000
+// students over 90 minutes, then half an hour at full strength), small
+// enough to queue-simulate but steep enough to stress every scaler's
+// reaction to a rate floor that keeps rising.
+func onboardingRamp(seed uint64, scaler scenario.ScalerKind) scenario.Config {
+	return scenario.Config{
+		Seed:              seed,
+		Kind:              deploy.Public,
+		Growth:            workload.LinearGrowth(1000, 8000, 90*time.Minute),
+		ReqPerStudentHour: 50,
+		Duration:          2 * time.Hour,
+		Diurnal:           workload.FlatDiurnal(),
+		Scaler:            scaler,
+		Access:            network.UrbanBroadband,
+	}
+}
+
+// Table9GrowthModels studies deployment models under enrollment growth
+// — the MOOC version of the paper's §IV.A "quickest solution to deploy"
+// claim. Three sections share the table: the deployment models over the
+// whole 50k→500k course (fluid fidelity), the public purchase-mix
+// ablation on the same duration curve (which reservations survive a
+// moving baseline), and the autoscaler ablation on a request-level
+// onboarding ramp (which policies track a rising floor).
+func Table9GrowthModels(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
+	kinds := []deploy.Kind{deploy.Public, deploy.Private, deploy.Hybrid}
+	scalers := []scenario.ScalerKind{
+		scenario.ScalerFixed, scenario.ScalerReactive,
+		scenario.ScalerScheduled, scenario.ScalerPredictive,
+	}
+	batch := scenario.NewBatch(seed)
+	for _, kind := range kinds {
+		batch.AddFluid("course/"+kind.String(), moocCourse(seed, kind))
+	}
+	for _, sk := range scalers {
+		batch.Add("ramp/"+sk.String(), onboardingRamp(seed, sk))
+	}
+	runs, err := batch.RunOn(pool)
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("Table 9: deployment models under enrollment growth — a %dk→%dk MOOC (§IV.A)",
+			moocStudentsStart/1000, moocStudentsCap/1000),
+		"configuration", "peak servers", "VM-hours", "$/st/mo", "vs on-demand", "p95", "errors")
+
+	// Section 1 — the whole course, per deployment model.
+	var pub *scenario.FluidResult
+	for _, kind := range kinds {
+		res := runs.Fluid("course/" + kind.String())
+		if kind == deploy.Public {
+			pub = res
+		}
+		t.AddRow("course, "+kind.String(),
+			res.PeakServers,
+			fmt.Sprintf("%.0f", res.VMHoursPublic+res.VMHoursPrivate),
+			fmt.Sprintf("%.2f", res.CostPerStudentMonth(moocStudentsCap)),
+			"", "", "")
+	}
+
+	// Section 2 — the public purchase mix on the course's utilization
+	// duration curve: under growth, most server ranks only run in the
+	// final weeks, so reserving for the end-state loses money.
+	rates := costRates()
+	months := pub.Duration.Hours() / 730
+	base := cost.AllOnDemandMix(pub.ServerRankHours)
+	baseUSD := base.ComputeUSD(rates.Public)
+	for _, s := range []struct {
+		name string
+		mix  cost.PurchaseMix
+	}{
+		{"all on-demand", base},
+		{"optimal reserved mix", cost.OptimizeReservedMix(pub.ServerRankHours, months, rates.Public)},
+		{"all reserved", cost.AllReservedMix(pub.ServerRankHours, months)},
+	} {
+		c := s.mix.ComputeUSD(rates.Public)
+		delta := "-"
+		if s.name != "all on-demand" && baseUSD > 0 {
+			delta = metrics.FmtPercent((c - baseUSD) / baseUSD)
+		}
+		t.AddRow(fmt.Sprintf("public compute, %s (%d reserved)", s.name, s.mix.Reserved),
+			"", "",
+			fmt.Sprintf("%.2f", cost.PerStudentMonth(cost.Report{Compute: c}, moocStudentsCap, months)),
+			delta, "", "")
+	}
+
+	// Section 3 — autoscalers against a rising floor (DES fidelity).
+	for _, sk := range scalers {
+		res := runs.Result("ramp/" + sk.String())
+		t.AddRow("onboarding ramp, "+sk.String()+" scaler",
+			res.PeakServers,
+			fmt.Sprintf("%.1f", res.VMHoursPublic),
+			"", "",
+			metrics.FmtMillis(res.Latency.P95()),
+			metrics.FmtPercent(res.ErrorRate()))
+	}
+
+	priv := runs.Fluid("course/" + deploy.Private.String())
+	t.AddNote("seed=%d; course rows: %d-week fluid run, logistic growth (midpoint week 4), global multi-timezone cohort, 8 req/student-h",
+		seed, moocCourseWeeks)
+	t.AddNote("private fleet is capacity-sized on day one and idles at %.0f%% mean utilization while enrollment catches up (§IV.B at MOOC scale)",
+		priv.MeanPrivateUtil*100)
+	t.AddNote("purchase rows: compute only, on the course's server-rank duration curve; growth keeps most ranks short-lived, so the optimal mix reserves only the early base")
+	t.AddNote("ramp rows: request-level 1000→8000-student onboarding over 90m at 50 req/student-h; the scheduled plan cannot see growth, so it provisions for the final enrollment from minute one")
+	return t, nil
+}
+
+// Figure10DeadlineStorm renders per-5-minute P95 latency through a
+// deadline storm — a live revision lecture's join spike followed by a
+// procrastination ramp into a submission cliff — side by side with
+// figure2's 10x exam flash crowd, both on the public model with the
+// reactive scaler. The storm's build-up is exactly what a reactive
+// policy can ride and the crowd's step function is not.
+func Figure10DeadlineStorm(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
+	stormCfg := scenario.Config{
+		Seed:              seed,
+		Kind:              deploy.Public,
+		Students:          desStudents,
+		ReqPerStudentHour: 50,
+		Duration:          3 * time.Hour,
+		Diurnal:           workload.FlatDiurnal(),
+		Scaler:            scenario.ScalerReactive,
+		Access:            network.UrbanBroadband,
+		// The live revision session's join spike ends before the
+		// procrastination ramp begins: the spike is the step input the
+		// reactive scaler must absorb cold (mirroring the crowd's step),
+		// the ramp the build-up it can ride. Disjoint windows also keep
+		// MaxRate — and with it the bootstrap fleet — at the crowd
+		// track's scale, so the two columns compare like for like.
+		Joins: []workload.JoinStorm{{
+			Start: 30 * time.Minute, Window: 30 * time.Minute,
+			PeakMult: 6, Decay: 5 * time.Minute, ExamTraffic: true,
+		}},
+		Storms: []workload.DeadlineStorm{{
+			Deadline: 150 * time.Minute, Ramp: 90 * time.Minute,
+			PeakMult: 10, Tau: 30 * time.Minute, ExamTraffic: true,
+		}},
+	}
+	runs, err := scenario.NewBatch(seed).
+		Add("deadline-storm", stormCfg).
+		Add("exam-crowd", examDay(seed, deploy.Public, scenario.ScalerReactive)).
+		RunOn(pool)
+	if err != nil {
+		return nil, err
+	}
+	storm := runs.Result("deadline-storm")
+	crowd := runs.Result("exam-crowd")
+	stormP95 := storm.P95Series.Downsample(5 * time.Minute).Points()
+	crowdP95 := crowd.P95Series.Downsample(5 * time.Minute).Points()
+	stormSrv := storm.Servers.Downsample(5 * time.Minute).Points()
+	crowdSrv := crowd.Servers.Downsample(5 * time.Minute).Points()
+
+	t := metrics.NewTable(
+		"Figure 10: P95 latency through a deadline storm vs the figure2 exam crowd (public, reactive)",
+		"t", "storm p95", "crowd p95", "storm servers", "crowd servers")
+	for i := range stormP95 {
+		row := []any{stormP95[i].At.Round(time.Minute).String(),
+			metrics.FmtMillis(stormP95[i].Value)}
+		if i < len(crowdP95) {
+			row = append(row, metrics.FmtMillis(crowdP95[i].Value))
+		} else {
+			row = append(row, "")
+		}
+		if i < len(stormSrv) {
+			row = append(row, fmt.Sprintf("%.0f", stormSrv[i].Value))
+		} else {
+			row = append(row, "")
+		}
+		if i < len(crowdSrv) {
+			row = append(row, fmt.Sprintf("%.0f", crowdSrv[i].Value))
+		} else {
+			row = append(row, "")
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("seed=%d; storm: join spike x6 at 00:30 (5m decay), then a 90m procrastination ramp to x10 at the 02:30 deadline (tau 30m); crowd: flat 10x from 00:30 to 01:30",
+		seed)
+	t.AddNote("same %d students and exam-heavy mix in both; the ramp hands the reactive scaler lead time the crowd's step never does",
+		desStudents)
+	return t, nil
+}

@@ -47,6 +47,10 @@ func All() []Experiment {
 		{"table8", "Reserved vs on-demand purchase mix", Table8PurchaseMix},
 		{"figure8", "CDN ablation on the cost crossover", Figure8CDN},
 		{"figure9", "Physical damage to the on-premise unit", Figure9HostFailure},
+		// MOOC-scale experiments (enrollment growth, deadline storms;
+		// see internal/workload's MOOC family and docs/SCENARIOS.md).
+		{"table9", "Deployment models under enrollment growth", Table9GrowthModels},
+		{"figure10", "P95 latency through a deadline storm", Figure10DeadlineStorm},
 	}
 }
 

@@ -68,10 +68,13 @@ func FluidRun(cfg Config) (*FluidResult, error) {
 	cat, teaching := mixFor()
 	gen, err := workload.NewGenerator(workload.Config{
 		Students:          cfg.Students,
+		Growth:            cfg.Growth,
 		ReqPerStudentHour: cfg.ReqPerStudentHour,
 		Diurnal:           cfg.Diurnal,
 		Calendar:          cfg.Calendar,
 		Crowds:            cfg.Crowds,
+		Storms:            cfg.Storms,
+		Joins:             cfg.Joins,
 	})
 	if err != nil {
 		return nil, err

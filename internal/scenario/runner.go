@@ -35,10 +35,13 @@ func Run(cfg Config) (*Result, error) {
 
 	gen, err := workload.NewGenerator(workload.Config{
 		Students:          cfg.Students,
+		Growth:            cfg.Growth,
 		ReqPerStudentHour: cfg.ReqPerStudentHour,
 		Diurnal:           cfg.Diurnal,
 		Calendar:          cfg.Calendar,
 		Crowds:            cfg.Crowds,
+		Storms:            cfg.Storms,
+		Joins:             cfg.Joins,
 	})
 	if err != nil {
 		return nil, err
@@ -366,7 +369,9 @@ func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Targ
 		}).Start(eng)
 	case ScalerScheduled:
 		// The timetable knows the diurnal/calendar shape but not flash
-		// crowds — a scheduled exam surprise is exactly what it misses.
+		// crowds, enrollment growth or deadline storms — a scheduled
+		// exam surprise or a course going viral is exactly what it
+		// misses (table9's scheduled row shows the consequence).
 		planGen, err := workload.NewGenerator(workload.Config{
 			Students:          cfg.Students,
 			ReqPerStudentHour: cfg.ReqPerStudentHour,

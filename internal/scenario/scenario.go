@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"elearncloud/internal/cost"
@@ -46,9 +47,14 @@ type Config struct {
 	Seed uint64
 	// Kind is the deployment model under test.
 	Kind deploy.Kind
-	// Students and Courses size the institution.
+	// Students and Courses size the institution. With Growth set,
+	// Students may be zero (derived from the growth capacity).
 	Students int
 	Courses  int
+	// Growth makes the active population a curve instead of a constant
+	// — MOOC enrollment growth (workload.LogisticGrowth for a viral
+	// course, workload.LinearGrowth for a cohort ramp).
+	Growth *workload.Growth
 	// ReqPerStudentHour is mean per-student demand (default 50).
 	ReqPerStudentHour float64
 	// Access is the user population's connectivity profile (default
@@ -63,6 +69,11 @@ type Config struct {
 	Calendar *workload.Calendar
 	// Crowds adds exam flash-crowd windows.
 	Crowds []workload.FlashCrowd
+	// Storms adds deadline storms (procrastination ramp, submission
+	// cliff) and Joins adds live-session join storms — the MOOC
+	// stressors of figure10.
+	Storms []workload.DeadlineStorm
+	Joins  []workload.JoinStorm
 	// Scaler picks the elasticity policy for the elastic side (default
 	// reactive for public/hybrid; private is always a fixed fleet).
 	Scaler ScalerKind
@@ -99,6 +110,9 @@ type Config struct {
 func (c *Config) defaults() error {
 	if c.Kind == 0 {
 		c.Kind = deploy.Public
+	}
+	if c.Growth != nil && c.Students <= 0 {
+		c.Students = int(math.Ceil(c.Growth.Max()))
 	}
 	if c.Students <= 0 {
 		return fmt.Errorf("scenario: Students = %d, need > 0", c.Students)

@@ -98,10 +98,16 @@ func TestNHPPDeterminism(t *testing.T) {
 
 func TestNHPPPanics(t *testing.T) {
 	r := NewRNG(1)
+	rate := func(Time) float64 { return 1 }
 	for name, fn := range map[string]func(){
-		"nil rng":      func() { NewNHPP(nil, func(Time) float64 { return 1 }, 1, 0) },
-		"zero maxRate": func() { NewNHPP(r, func(Time) float64 { return 1 }, 0, 0) },
+		"nil rng":      func() { NewNHPP(nil, rate, 1, 0) },
+		"zero maxRate": func() { NewNHPP(r, rate, 0, 0) },
 		"nil rate":     func() { NewNHPP(r, nil, 1, 0) },
+		"nil envelope": func() { NewNHPPEnvelope(r, rate, nil, 0) },
+		"stuck envelope": func() {
+			p := NewNHPPEnvelope(NewRNG(1), rate, func(t Time) (float64, Time) { return 1, t }, 0)
+			p.Next(time.Second)
+		},
 	} {
 		func() {
 			defer func() {
@@ -111,5 +117,108 @@ func TestNHPPPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// stepEnvelope bounds a 20-then-2 step rate tightly: segment one ends at
+// the step, segment two never ends.
+func stepEnvelope(step Time) EnvelopeFunc {
+	return func(t Time) (float64, Time) {
+		if t < step {
+			return 20, step
+		}
+		return 2, MaxTime
+	}
+}
+
+func TestNHPPEnvelopeTracksPiecewiseRate(t *testing.T) {
+	// Same step rate as TestNHPPTracksTimeVaryingRate, but bounded by a
+	// tight piecewise envelope instead of the global max. The arrival
+	// ratio must still be ~10:1, and — the point of the envelope —
+	// thinning must accept essentially every candidate, where the flat
+	// bound rejects ~90% of them in the quiet half.
+	r := NewRNG(57)
+	half := 500 * time.Second
+	rate := func(t Time) float64 {
+		if t < half {
+			return 20
+		}
+		return 2
+	}
+	p := NewNHPPEnvelope(r, rate, stepEnvelope(half), 0)
+	var first, second int
+	p.GenerateInto(2*half, func(at Time) {
+		if at < half {
+			first++
+		} else {
+			second++
+		}
+	})
+	ratio := float64(first) / float64(second)
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("ratio = %v, want ~10 (first=%d second=%d)", ratio, first, second)
+	}
+	if p.Proposed() == 0 || p.Accepted() != p.Proposed() {
+		t.Fatalf("tight envelope should accept every candidate: accepted %d of %d",
+			p.Accepted(), p.Proposed())
+	}
+}
+
+func TestNHPPEnvelopeSilentSegmentsSkipWithoutRandomness(t *testing.T) {
+	// A zero-max leading segment must produce no arrivals and consume no
+	// randomness: the stream started after the silent window must be
+	// identical to the stream that skipped it.
+	gen := func(env EnvelopeFunc, start Time) []Time {
+		r := NewRNG(59)
+		p := NewNHPPEnvelope(r, func(Time) float64 { return 5 }, env, start)
+		var out []Time
+		p.GenerateInto(200*time.Second, func(at Time) { out = append(out, at) })
+		return out
+	}
+	silent := func(t Time) (float64, Time) {
+		if t < 100*time.Second {
+			return 0, 100 * time.Second
+		}
+		return 5, MaxTime
+	}
+	skipped := gen(silent, 0)
+	direct := gen(ConstantEnvelope(5), 100*time.Second)
+	if len(skipped) == 0 {
+		t.Fatal("no arrivals after the silent window")
+	}
+	if len(skipped) != len(direct) {
+		t.Fatalf("silent segment consumed randomness: %d vs %d arrivals", len(skipped), len(direct))
+	}
+	for i := range skipped {
+		if skipped[i] != direct[i] {
+			t.Fatalf("diverged at %d: %v vs %v", i, skipped[i], direct[i])
+		}
+		if skipped[i] < 100*time.Second {
+			t.Fatalf("arrival %v inside the silent window", skipped[i])
+		}
+	}
+}
+
+func TestNHPPEnvelopeDeterminism(t *testing.T) {
+	gen := func() []Time {
+		r := NewRNG(61)
+		p := NewNHPPEnvelope(r, func(t Time) float64 {
+			if t < 500*time.Second {
+				return 18
+			}
+			return 1.5
+		}, stepEnvelope(500*time.Second), 0)
+		var out []Time
+		p.GenerateInto(1000*time.Second, func(at Time) { out = append(out, at) })
+		return out
+	}
+	a, b := gen(), gen()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
 	}
 }

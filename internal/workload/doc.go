@@ -19,6 +19,18 @@
 //   - FlashCrowd describes an exam spike (start, end, multiplier,
 //     exam-heavy traffic flag) — the §IV.A scalability stressor
 //     table5, figure2 and examples/examday inject.
+//   - The MOOC-scale family (mooc.go) models courses that outgrow a
+//     campus: LogisticGrowth / LinearGrowth make the active population
+//     a curve instead of a constant (Config.Growth),
+//     SuperposeTimezones / GlobalCohort build the flattened day shape
+//     of a multi-timezone cohort (plugs into Config.Diurnal), and
+//     DeadlineStorm / JoinStorm (Config.Storms, Config.Joins) are the
+//     procrastination ramp with a submission cliff and the
+//     near-simultaneous lecture join rush. Generator.Envelope exposes
+//     the piecewise thinning bound that keeps generation O(arrivals)
+//     on those nonstationary shapes (BenchmarkMOOCAcceptance pins the
+//     acceptance rate at 10^5 students); table9, figure10 and
+//     examples/mooc consume them.
 //   - Trace / ReadTrace record and replay a generated arrival sequence
 //     as JSON, pinning one workload across deployment models.
 package workload

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"elearncloud/internal/lms"
@@ -20,8 +21,14 @@ type Arrival struct {
 
 // Config parameterizes a Generator.
 type Config struct {
-	// Students is the active population size.
+	// Students is the active population size. With Growth set it is the
+	// user-ID space instead: zero derives it from Growth.Max(), and an
+	// explicit value must be at least that capacity.
 	Students int
+	// Growth optionally makes the active population a curve (MOOC
+	// enrollment): the instantaneous rate scales with Growth.At(t)
+	// instead of the constant Students.
+	Growth *Growth
 	// ReqPerStudentHour is the mean request rate per student during an
 	// average hour (the diurnal profile redistributes it within a day).
 	// Typical interactive LMS usage is 40-80 requests/student-hour.
@@ -32,6 +39,12 @@ type Config struct {
 	Calendar *Calendar
 	// Crowds adds exam flash-crowd windows.
 	Crowds []FlashCrowd
+	// Storms adds deadline storms: asymmetric procrastination ramps
+	// that build exponentially toward a submission cliff.
+	Storms []DeadlineStorm
+	// Joins adds live-session join storms: near-simultaneous arrivals
+	// at a lecture start, decaying as stragglers trickle in.
+	Joins []JoinStorm
 	// TeachingMix and ExamMix override the request mixes; nil uses the
 	// lms defaults.
 	TeachingMix *lms.Mix
@@ -47,6 +60,14 @@ type Generator struct {
 
 // NewGenerator validates cfg and builds a generator.
 func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Growth != nil {
+		capacity := int(math.Ceil(cfg.Growth.Max()))
+		if cfg.Students == 0 {
+			cfg.Students = capacity
+		} else if cfg.Students < capacity {
+			return nil, fmt.Errorf("workload: Students = %d is below the growth capacity %d", cfg.Students, capacity)
+		}
+	}
 	if cfg.Students <= 0 {
 		return nil, fmt.Errorf("workload: Students = %d, need > 0", cfg.Students)
 	}
@@ -55,6 +76,16 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	for _, c := range cfg.Crowds {
 		if err := c.sanity(); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range cfg.Storms {
+		if err := s.sanity(); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range cfg.Joins {
+		if err := j.sanity(); err != nil {
 			return nil, err
 		}
 	}
@@ -71,12 +102,37 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	return g, nil
 }
 
-// Students returns the configured population size.
+// Students returns the configured population size (with Growth, the
+// user-ID space: at least the growth capacity).
 func (g *Generator) Students() int { return g.cfg.Students }
+
+// Population returns the active population at t: Growth.At(t) when a
+// growth curve is set, the constant Students otherwise.
+func (g *Generator) Population(t time.Duration) float64 {
+	if g.cfg.Growth != nil {
+		return g.cfg.Growth.At(t)
+	}
+	return float64(g.cfg.Students)
+}
+
+// users returns the user-ID range active at t, at least 1.
+func (g *Generator) users(t time.Duration) int {
+	if g.cfg.Growth == nil {
+		return g.cfg.Students
+	}
+	n := int(math.Ceil(g.cfg.Growth.At(t)))
+	if n < 1 {
+		n = 1
+	}
+	if n > g.cfg.Students {
+		n = g.cfg.Students
+	}
+	return n
+}
 
 // Rate returns the instantaneous aggregate arrival rate (req/s) at t.
 func (g *Generator) Rate(t time.Duration) float64 {
-	base := float64(g.cfg.Students) * g.cfg.ReqPerStudentHour / 3600
+	base := g.Population(t) * g.cfg.ReqPerStudentHour / 3600
 	rate := base * g.cfg.Diurnal.At(t)
 	if g.cfg.Calendar != nil {
 		rate *= g.cfg.Calendar.WeekAt(t).Mult
@@ -86,31 +142,93 @@ func (g *Generator) Rate(t time.Duration) float64 {
 			rate *= c.Mult
 		}
 	}
+	for _, s := range g.cfg.Storms {
+		rate *= s.MultAt(t)
+	}
+	for _, j := range g.cfg.Joins {
+		rate *= j.MultAt(t)
+	}
 	return rate
 }
 
-// MaxRate returns an upper bound on Rate over any horizon, used to drive
-// the thinning sampler.
+// MaxRate returns a global upper bound on Rate over any horizon. It
+// sizes peak fleets; the thinning sampler uses the tighter piecewise
+// Envelope instead, because on growth curves the global bound is far
+// above the early rate. Rate multiplies every simultaneously-active
+// window, so the bound compounds the peaks of windows that actually
+// overlap — a join storm inside a deadline ramp really does stack —
+// while disjoint windows contribute only the largest single peak.
 func (g *Generator) MaxRate() float64 {
-	base := float64(g.cfg.Students) * g.cfg.ReqPerStudentHour / 3600
+	pop := float64(g.cfg.Students)
+	if g.cfg.Growth != nil {
+		pop = g.cfg.Growth.Max()
+	}
+	base := pop * g.cfg.ReqPerStudentHour / 3600
 	max := base * g.cfg.Diurnal.Peak()
 	if g.cfg.Calendar != nil {
 		max *= g.cfg.Calendar.PeakMult()
 	}
-	crowdMax := 1.0
+	return max * g.windowPeakBound()
+}
+
+// windowPeakBound bounds the product of simultaneously-active window
+// multipliers (crowds, storms, joins) over all time. The active set
+// only changes at window edges, and every maximal active set is live
+// just inside some window's start — so evaluating the product of the
+// peaks of the windows active at each start covers every combination
+// that can occur, without compounding windows that never overlap.
+func (g *Generator) windowPeakBound() float64 {
+	type window struct {
+		start, end time.Duration
+		peak       float64
+	}
+	var wins []window
 	for _, c := range g.cfg.Crowds {
-		if c.Mult > crowdMax {
-			crowdMax = c.Mult
+		if c.Mult > 1 {
+			wins = append(wins, window{c.Start, c.End, c.Mult})
 		}
 	}
-	return max * crowdMax
+	for _, s := range g.cfg.Storms {
+		if s.PeakMult > 1 {
+			wins = append(wins, window{s.Deadline - s.Ramp, s.Deadline, s.PeakMult})
+		}
+	}
+	for _, j := range g.cfg.Joins {
+		if j.PeakMult > 1 {
+			wins = append(wins, window{j.Start, j.Start + j.Window, j.PeakMult})
+		}
+	}
+	best := 1.0
+	for _, w := range wins {
+		product := 1.0
+		for _, o := range wins {
+			if w.start >= o.start && w.start < o.end {
+				product *= o.peak
+			}
+		}
+		if product > best {
+			best = product
+		}
+	}
+	return best
 }
 
 // MixAt returns the request mix in force at time t: the exam mix inside
-// exam weeks and exam flash crowds, the teaching mix otherwise.
+// exam weeks, exam flash crowds and exam-flagged storms, the teaching
+// mix otherwise.
 func (g *Generator) MixAt(t time.Duration) *lms.Mix {
 	for _, c := range g.cfg.Crowds {
 		if c.Active(t) && c.ExamTraffic {
+			return g.examMix
+		}
+	}
+	for _, s := range g.cfg.Storms {
+		if s.Active(t) && s.ExamTraffic {
+			return g.examMix
+		}
+	}
+	for _, j := range g.cfg.Joins {
+		if j.Active(t) && j.ExamTraffic {
 			return g.examMix
 		}
 	}
@@ -120,20 +238,88 @@ func (g *Generator) MixAt(t time.Duration) *lms.Mix {
 	return g.teachingMix
 }
 
+// Envelope returns the piecewise-constant thinning bound the generator
+// samples under. For stationary-bound configs (no growth, no storms)
+// it is a single segment at MaxRate — byte-identical behavior to the
+// flat sampler. For MOOC shapes it re-bounds every hour (every minute
+// inside an active storm window, where the multiplier moves on minute
+// scales), using monotonicity of the growth curve and the storm shapes,
+// so thinning acceptance stays high while the population grows 10x.
+func (g *Generator) Envelope() sim.EnvelopeFunc {
+	if g.cfg.Growth == nil && len(g.cfg.Storms) == 0 && len(g.cfg.Joins) == 0 {
+		return sim.ConstantEnvelope(g.MaxRate())
+	}
+	return func(t sim.Time) (float64, sim.Time) {
+		until := t - t%time.Hour + time.Hour
+		// Tighten around shape edges so a bound never straddles a window
+		// boundary loosely, and re-bound minute-by-minute while an
+		// exponential storm shape is actually moving.
+		clampEdge := func(edge time.Duration) {
+			if edge > t && edge < until {
+				until = edge
+			}
+		}
+		storming := false
+		for _, c := range g.cfg.Crowds {
+			clampEdge(c.Start)
+			clampEdge(c.End)
+		}
+		for _, s := range g.cfg.Storms {
+			clampEdge(s.Deadline - s.Ramp)
+			clampEdge(s.Deadline)
+			storming = storming || s.Active(t)
+		}
+		for _, j := range g.cfg.Joins {
+			clampEdge(j.Start)
+			clampEdge(j.Start + j.Window)
+			storming = storming || j.Active(t)
+		}
+		if storming {
+			if minuteEnd := t - t%time.Minute + time.Minute; minuteEnd < until {
+				until = minuteEnd
+			}
+		}
+		pop := float64(g.cfg.Students)
+		if g.cfg.Growth != nil {
+			pop = g.cfg.Growth.At(until) // monotone: segment max at the end
+		}
+		max := pop * g.cfg.ReqPerStudentHour / 3600
+		// Diurnal is linear between hour anchors and [t, until) never
+		// crosses one, so the endpoints bound the segment.
+		max *= math.Max(g.cfg.Diurnal.At(t), g.cfg.Diurnal.At(until))
+		if g.cfg.Calendar != nil {
+			// Week boundaries fall on hour marks, never inside [t, until).
+			max *= g.cfg.Calendar.WeekAt(t).Mult
+		}
+		for _, c := range g.cfg.Crowds {
+			if c.Active(t) && c.Mult > 1 {
+				max *= c.Mult
+			}
+		}
+		for _, s := range g.cfg.Storms {
+			max *= s.MaxOn(t, until)
+		}
+		for _, j := range g.cfg.Joins {
+			max *= j.MaxOn(t, until)
+		}
+		return max, until
+	}
+}
+
 // Generate produces arrivals on [start, horizon) in time order, invoking
 // fn for each, and returns the count. Identical (rng state, config)
 // produce identical streams.
 func (g *Generator) Generate(rng *sim.RNG, start, horizon time.Duration, fn func(Arrival)) int {
-	proc := sim.NewNHPP(rng.Stream("arrivals"), func(t sim.Time) float64 {
+	proc := sim.NewNHPPEnvelope(rng.Stream("arrivals"), func(t sim.Time) float64 {
 		return g.Rate(t)
-	}, g.MaxRate(), start)
+	}, g.Envelope(), start)
 	classRNG := rng.Stream("classes")
 	userRNG := rng.Stream("users")
 	return proc.GenerateInto(horizon, func(t sim.Time) {
 		fn(Arrival{
 			At:     t,
 			Class:  g.MixAt(t).Sample(classRNG),
-			UserID: userRNG.Intn(g.cfg.Students),
+			UserID: userRNG.Intn(g.users(t)),
 		})
 	})
 }
@@ -151,9 +337,9 @@ type ArrivalStream struct {
 func (g *Generator) Stream(rng *sim.RNG, start time.Duration) *ArrivalStream {
 	return &ArrivalStream{
 		gen: g,
-		proc: sim.NewNHPP(rng.Stream("arrivals"), func(t sim.Time) float64 {
+		proc: sim.NewNHPPEnvelope(rng.Stream("arrivals"), func(t sim.Time) float64 {
 			return g.Rate(t)
-		}, g.MaxRate(), start),
+		}, g.Envelope(), start),
 		classRNG: rng.Stream("classes"),
 		userRNG:  rng.Stream("users"),
 	}
@@ -168,8 +354,16 @@ func (s *ArrivalStream) Next(horizon time.Duration) (Arrival, bool) {
 	return Arrival{
 		At:     t,
 		Class:  s.gen.MixAt(t).Sample(s.classRNG),
-		UserID: s.userRNG.Intn(s.gen.cfg.Students),
+		UserID: s.userRNG.Intn(s.gen.users(t)),
 	}, true
+}
+
+// Thinning reports the stream's sampler efficiency so far: candidate
+// arrivals proposed and accepted. Accepted/proposed near 1 means the
+// piecewise envelope hugs the rate; the MOOC shapes are benchmarked to
+// stay at or above ~50% (see BenchmarkMOOCAcceptance).
+func (s *ArrivalStream) Thinning() (proposed, accepted uint64) {
+	return s.proc.Proposed(), s.proc.Accepted()
 }
 
 // Record captures the arrivals on [start, horizon) as a Trace.

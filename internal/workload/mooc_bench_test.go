@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"elearncloud/internal/sim"
+)
+
+// moocScaleCases are the MOOC shapes at 10^5 students — the scale the
+// piecewise envelope exists for. The per-student rate is turned down so
+// one benchmark iteration generates a few hundred thousand arrivals
+// instead of tens of millions; thinning acceptance does not depend on
+// the absolute rate, only on how tightly the envelope hugs the shape.
+func moocScaleCases() []struct {
+	name string
+	cfg  Config
+} {
+	const students = 100000
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"logistic-growth-10x", Config{
+			Growth:            LogisticGrowth(students/10, students, 24*time.Hour),
+			ReqPerStudentHour: 0.1,
+		}},
+		{"cohort-ramp", Config{
+			Growth:            LinearGrowth(students/4, students, 12*time.Hour),
+			ReqPerStudentHour: 0.1,
+			Diurnal:           FlatDiurnal(),
+		}},
+		{"timezone-waves", Config{
+			Students:          students,
+			ReqPerStudentHour: 0.1,
+			Diurnal:           GlobalCohort(),
+		}},
+		{"deadline-storm", Config{
+			Students:          students,
+			ReqPerStudentHour: 0.1,
+			Diurnal:           FlatDiurnal(),
+			Storms: []DeadlineStorm{{
+				Deadline: 24 * time.Hour, Ramp: 8 * time.Hour, PeakMult: 10,
+				Tau: 2 * time.Hour, ExamTraffic: true,
+			}},
+		}},
+		{"join-storm", Config{
+			Students:          students,
+			ReqPerStudentHour: 0.1,
+			Diurnal:           FlatDiurnal(),
+			Joins: []JoinStorm{{
+				Start: 12 * time.Hour, Window: time.Hour, PeakMult: 8,
+				Decay: 10 * time.Minute, ExamTraffic: true,
+			}},
+		}},
+	}
+}
+
+// BenchmarkMOOCAcceptance measures arrival generation on each MOOC
+// shape at 10^5 students and reports the thinning acceptance rate as
+// the accept/proposed metric. The piecewise envelope must keep it at or
+// above 0.5 on every shape (a single global bound manages ~0.1 on the
+// 10x growth curve); the benchmark fails outright if it sinks below,
+// so the committed number cannot rot silently.
+func BenchmarkMOOCAcceptance(b *testing.B) {
+	const horizon = 36 * time.Hour
+	for _, c := range moocScaleCases() {
+		b.Run(c.name, func(b *testing.B) {
+			g, err := NewGenerator(c.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var proposed, accepted uint64
+			arrivals := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := g.Stream(sim.NewRNG(uint64(i)+1), 0)
+				for {
+					if _, ok := s.Next(horizon); !ok {
+						break
+					}
+					arrivals++
+				}
+				p, a := s.Thinning()
+				proposed += p
+				accepted += a
+			}
+			b.StopTimer()
+			if arrivals == 0 || proposed == 0 {
+				b.Fatal("no arrivals generated")
+			}
+			rate := float64(accepted) / float64(proposed)
+			b.ReportMetric(rate, "accept/proposed")
+			b.ReportMetric(float64(arrivals)/float64(b.N), "arrivals/op")
+			if rate < 0.5 {
+				b.Fatalf("%s: thinning acceptance %.1f%% (%d/%d), want >= 50%%",
+					c.name, rate*100, accepted, proposed)
+			}
+		})
+	}
+}

@@ -13,13 +13,19 @@
 # against the store, and a renamed or deleted golden file breaks the
 # build too.
 #
-# Finally, every internal/ package must carry a godoc package comment
+# Every internal/ package must carry a godoc package comment
 # ("// Package <name> ...") in at least one non-test file, so the doc
 # surface brought up in PR 4 cannot silently regress when a package is
 # added or its doc.go is deleted.
+#
+# Finally, the scenario catalog (docs/SCENARIOS.md, overridable via
+# CATALOG= for the negative tests) must list exactly the experiment ids
+# the registry knows — enumerated with `elbench -list` — in both
+# directions: a registered id missing from the catalog fails, and a
+# catalog row naming an unknown id fails, so the table can never rot.
 set -eu
 
-files="README.md ARCHITECTURE.md ROADMAP.md examples/README.md"
+files="README.md ARCHITECTURE.md ROADMAP.md examples/README.md docs/SCENARIOS.md"
 fail=0
 
 for f in $files; do
@@ -78,8 +84,43 @@ for dir in internal/*/; do
     fi
 done
 
+# Scenario catalog cross-check: the ids in docs/SCENARIOS.md's table
+# must be exactly the registry's ids. `elbench -list` is the
+# authoritative enumeration (it reads the registry and runs nothing);
+# the catalog side is the first column of its markdown table.
+catalog="${CATALOG:-docs/SCENARIOS.md}"
+if [ ! -f "$catalog" ]; then
+    echo "check-docs: missing scenario catalog: $catalog" >&2
+    fail=1
+elif ! command -v go >/dev/null 2>&1; then
+    echo "check-docs: go toolchain unavailable; skipping the registry/catalog cross-check" >&2
+else
+    registry=$(go run ./cmd/elbench -list | cut -f1)
+    # `|| true`: zero catalog rows must fall through to the loops below
+    # (every registered id reported missing), not abort under set -e.
+    listed=$(grep -oE '^\| *`?(table|figure)[0-9]+`? *\|' "$catalog" | tr -d '|` ' || true)
+    for id in $registry; do
+        case " $(echo $listed) " in
+        *" $id "*) ;;
+        *)
+            echo "check-docs: experiment $id is registered but missing from $catalog" >&2
+            fail=1
+            ;;
+        esac
+    done
+    for id in $listed; do
+        case " $(echo $registry) " in
+        *" $id "*) ;;
+        *)
+            echo "check-docs: $catalog lists $id but the registry has no such experiment (see elbench -list)" >&2
+            fail=1
+            ;;
+        esac
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check-docs: FAILED" >&2
     exit 1
 fi
-echo "check-docs: links, golden citations and package doc comments all check out"
+echo "check-docs: links, golden citations, package doc comments and the scenario catalog all check out"
