@@ -1,0 +1,92 @@
+// Command elvet runs the repository's determinism analyzers
+// (internal/detlint) over Go packages and exits non-zero on findings:
+//
+//	elvet ./...                  # lint the whole tree (the CI lint job)
+//	elvet ./internal/cloud       # lint one package
+//	elvet -list                  # print analyzer names and docs, run nothing
+//	elvet -dir path/to/corpus    # lint a directory of loose files (testdata)
+//
+// Findings print one per line as file:line:col: message [analyzer], so
+// editors and CI annotate them like any other vet output. A finding is
+// suppressed — reason mandatory — with a comment on the offending line
+// or the line above:
+//
+//	//detlint:allow <analyzer> <reason>
+//
+// See ARCHITECTURE.md's "Determinism invariants, statically enforced"
+// for what each analyzer guards and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"elearncloud/internal/detlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("elvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print one name<TAB>doc line per registered analyzer and exit")
+	dir := fs.String("dir", "", "lint a directory of loose Go files instead of package patterns")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: elvet [-list] [-dir directory] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		if *dir != "" || fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "elvet: -list reads the analyzer registry and takes no other arguments")
+			return 2
+		}
+		for _, a := range detlint.Analyzers() {
+			fmt.Fprintf(stdout, "%s\t%s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var (
+		pkgs []*detlint.Package
+		err  error
+	)
+	if *dir != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "elvet: -dir and package patterns are mutually exclusive")
+			return 2
+		}
+		var pkg *detlint.Package
+		pkg, err = detlint.LoadDir(*dir)
+		if pkg != nil {
+			pkgs = []*detlint.Package{pkg}
+		}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		pkgs, err = detlint.Load("", patterns)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "elvet: %v\n", err)
+		return 2
+	}
+
+	findings := detlint.Check(pkgs, nil)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "elvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

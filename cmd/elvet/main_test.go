@@ -1,0 +1,78 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elearncloud/internal/detlint"
+)
+
+func runElvet(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestList mirrors elbench -list: one name<TAB>doc line per registered
+// analyzer, in registry order — the enumeration scripts/check-docs.sh
+// cross-checks against ARCHITECTURE.md.
+func TestList(t *testing.T) {
+	out, _, code := runElvet(t, "-list")
+	if code != 0 {
+		t.Fatalf("elvet -list exited %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	reg := detlint.Analyzers()
+	if len(lines) != len(reg) {
+		t.Fatalf("want %d lines, got %d:\n%s", len(reg), len(lines), out)
+	}
+	for i, a := range reg {
+		name, doc, ok := strings.Cut(lines[i], "\t")
+		if !ok || name != a.Name || doc != a.Doc {
+			t.Errorf("line %d = %q, want %q<TAB>%q", i, lines[i], a.Name, a.Doc)
+		}
+	}
+}
+
+func TestListTakesNoArguments(t *testing.T) {
+	if _, _, code := runElvet(t, "-list", "./..."); code != 2 {
+		t.Errorf("-list with patterns: exit %d, want 2", code)
+	}
+	if _, _, code := runElvet(t, "-dir", "x", "./..."); code != 2 {
+		t.Errorf("-dir with patterns: exit %d, want 2", code)
+	}
+}
+
+// TestNegativeCorpora is the acceptance gate: elvet must exit non-zero
+// on every analyzer's negative corpus.
+func TestNegativeCorpora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped in -short mode")
+	}
+	for _, corpus := range []string{"maporder", "seedrule", "poolonly", "mapprint", "suppress"} {
+		dir := filepath.Join("..", "..", "internal", "detlint", "testdata", corpus)
+		out, _, code := runElvet(t, "-dir", dir)
+		if code != 1 {
+			t.Errorf("elvet -dir %s: exit %d, want 1\n%s", corpus, code, out)
+		}
+		if !strings.Contains(out, "[") {
+			t.Errorf("corpus %s produced no annotated findings:\n%s", corpus, out)
+		}
+	}
+}
+
+// TestTreeIsClean is the other half of the acceptance gate: the
+// committed tree must lint clean, so a new order-sensitive loop or
+// unrooted RNG cannot land without either a fix or a reasoned
+// //detlint:allow.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	out, errb, code := runElvet(t, "elearncloud/...")
+	if code != 0 {
+		t.Fatalf("elvet elearncloud/... exited %d:\n%s%s", code, out, errb)
+	}
+}

@@ -9,12 +9,12 @@ import (
 )
 
 // runCheckDocs executes scripts/check-docs.sh from the repo root with
-// the scenario catalog overridden, returning combined output and the
-// error (nil on exit 0).
-func runCheckDocs(t *testing.T, catalog string) (string, error) {
+// the given KEY=value overrides (CATALOG= or ARCHDOC=), returning
+// combined output and the error (nil on exit 0).
+func runCheckDocs(t *testing.T, overrides ...string) (string, error) {
 	t.Helper()
 	cmd := exec.Command("sh", filepath.Join("scripts", "check-docs.sh"))
-	cmd.Env = append(os.Environ(), "CATALOG="+catalog)
+	cmd.Env = append(os.Environ(), overrides...)
 	out, err := cmd.CombinedOutput()
 	return string(out), err
 }
@@ -35,7 +35,7 @@ func TestCheckDocsCatalogCrossCheck(t *testing.T) {
 	}
 
 	// The committed catalog must be in sync with the registry.
-	if out, err := runCheckDocs(t, filepath.Join("docs", "SCENARIOS.md")); err != nil {
+	if out, err := runCheckDocs(t, "CATALOG="+filepath.Join("docs", "SCENARIOS.md")); err != nil {
 		t.Fatalf("check-docs fails on the committed catalog: %v\n%s", err, out)
 	}
 
@@ -53,7 +53,7 @@ func TestCheckDocsCatalogCrossCheck(t *testing.T) {
 	if err := os.WriteFile(missing, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := runCheckDocs(t, missing)
+	out, err := runCheckDocs(t, "CATALOG="+missing)
 	if err == nil {
 		t.Fatalf("catalog without table9 accepted:\n%s", out)
 	}
@@ -67,11 +67,70 @@ func TestCheckDocsCatalogCrossCheck(t *testing.T) {
 	if err := os.WriteFile(extra, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err = runCheckDocs(t, extra)
+	out, err = runCheckDocs(t, "CATALOG="+extra)
 	if err == nil {
 		t.Fatalf("catalog with unknown table99 accepted:\n%s", out)
 	}
 	if !strings.Contains(out, "table99") || !strings.Contains(out, "no such experiment") {
 		t.Fatalf("unknown-id failure does not name the id:\n%s", out)
+	}
+}
+
+// TestCheckDocsAnalyzerCrossCheck is the negative test for the
+// determinism-analyzer gate: scripts/check-docs.sh must pass on the
+// committed ARCHITECTURE.md, fail when a registered analyzer's row is
+// dropped from the invariants table, and fail when the table documents
+// an analyzer elvet does not register. Skipped under -short: each run
+// shells out to `go run ./cmd/elvet -list` (and elbench for the
+// catalog half).
+func TestCheckDocsAnalyzerCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go toolchain; skipped in -short mode")
+	}
+	committed, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if out, err := runCheckDocs(t, "ARCHDOC=ARCHITECTURE.md"); err != nil {
+		t.Fatalf("check-docs fails on the committed ARCHITECTURE.md: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+
+	// Direction one: drop a registered analyzer's table row.
+	var kept []string
+	for _, line := range strings.Split(string(committed), "\n") {
+		if strings.HasPrefix(line, "| `maporder` |") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	missing := filepath.Join(dir, "missing.md")
+	if err := os.WriteFile(missing, []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCheckDocs(t, "ARCHDOC="+missing)
+	if err == nil {
+		t.Fatalf("invariants table without maporder accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "maporder") || !strings.Contains(out, "missing from") {
+		t.Fatalf("missing-analyzer failure does not name the analyzer:\n%s", out)
+	}
+
+	// Direction two: document an analyzer the registry does not have.
+	doctored := strings.Replace(string(committed),
+		"| `maporder` |",
+		"| `mapdisorder` | bogus | bogus |\n| `maporder` |", 1)
+	extra := filepath.Join(dir, "extra.md")
+	if err := os.WriteFile(extra, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCheckDocs(t, "ARCHDOC="+extra)
+	if err == nil {
+		t.Fatalf("invariants table with unknown mapdisorder accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "mapdisorder") || !strings.Contains(out, "does not register") {
+		t.Fatalf("unknown-analyzer failure does not name the analyzer:\n%s", out)
 	}
 }

@@ -219,13 +219,7 @@ func (dc *Datacenter) FailHost(id int) []*VM {
 	}
 	h := dc.hosts[id]
 	h.failed = true
-	victims := h.VMs()
-	// Deterministic order for reproducibility.
-	for i := 1; i < len(victims); i++ {
-		for j := i; j > 0 && victims[j-1].ID > victims[j].ID; j-- {
-			victims[j-1], victims[j] = victims[j], victims[j-1]
-		}
-	}
+	victims := h.VMs() // already in ID order — the determinism contract
 	for _, vm := range victims {
 		dc.Terminate(vm)
 	}

@@ -1,6 +1,9 @@
 package cloud
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Host is one physical machine in a datacenter.
 type Host struct {
@@ -63,11 +66,16 @@ func (h *Host) release(vm *VM) {
 	vm.host = nil
 }
 
-// VMs returns the VMs currently placed on the host, in unspecified order.
+// VMs returns the VMs currently placed on the host, in ascending ID
+// order. The order is part of the determinism contract: callers feed
+// these VMs into work that shares RNG streams (FailHost terminates
+// them one by one), so a map-order slice would leak iteration order
+// into results.
 func (h *Host) VMs() []*VM {
 	out := make([]*VM, 0, len(h.vms))
 	for _, vm := range h.vms {
 		out = append(out, vm)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

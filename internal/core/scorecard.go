@@ -47,9 +47,16 @@ func BuildScorecard(in *Inputs) (*Scorecard, error) {
 			return nil, fmt.Errorf("core: no measurements for %v", req)
 		}
 		best, _ := minMax(vals)
+		// Sum in sorted-key order: float addition is order-sensitive at
+		// the ulp, and these means reach %.1f-rendered artifact cells.
+		kinds := make([]deploy.Kind, 0, len(vals))
+		for k := range vals {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 		mean := 0.0
-		for _, v := range vals {
-			mean += v
+		for _, k := range kinds {
+			mean += vals[k]
 		}
 		mean /= float64(len(vals))
 		for _, k := range deploy.Kinds() {
@@ -141,7 +148,8 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("core: profile %q has no weights", p.Name)
 	}
 	total := 0.0
-	for r, w := range p.Weights {
+	for _, r := range sortedRequirements(p.Weights) {
+		w := p.Weights[r]
 		if w < 0 {
 			return fmt.Errorf("core: profile %q has negative weight for %v", p.Name, r)
 		}
@@ -174,6 +182,17 @@ var (
 	}}
 )
 
+// sortedRequirements returns the weight map's keys in ascending order,
+// the stable iteration order every float reduction over weights uses.
+func sortedRequirements(weights map[Requirement]float64) []Requirement {
+	reqs := make([]Requirement, 0, len(weights))
+	for r := range weights {
+		reqs = append(reqs, r)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	return reqs
+}
+
 // MeasureForProfile measures inputs at the profile's own scale, which is
 // how Recommend should be fed: the cost axis is scale-dependent.
 func MeasureForProfile(p Profile, seed uint64) (*Inputs, error) {
@@ -191,15 +210,19 @@ func (sc *Scorecard) Recommend(p Profile) ([]Recommendation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	// Weighted totals are rendered to %.1f in Table 6, so both sums run
+	// in sorted-requirement order — map-order float addition could land
+	// either side of a rounding boundary (the VMHours bug class).
+	reqs := sortedRequirements(p.Weights)
 	total := 0.0
-	for _, w := range p.Weights {
-		total += w
+	for _, r := range reqs {
+		total += p.Weights[r]
 	}
 	out := make([]Recommendation, 0, len(sc.scores))
 	for _, k := range deploy.Kinds() {
 		sum := 0.0
-		for r, w := range p.Weights {
-			sum += w / total * sc.Score(k, r)
+		for _, r := range reqs {
+			sum += p.Weights[r] / total * sc.Score(k, r)
 		}
 		out = append(out, Recommendation{Kind: k, Total: sum})
 	}

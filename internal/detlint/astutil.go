@@ -1,0 +1,132 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared AST/type helpers for the analyzers.
+
+// pkgNameOf resolves a selector's qualifier to the import path of the
+// package it names ("" when X is not a package qualifier).
+func pkgNameOf(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// calleeName returns the bare name a call resolves to syntactically:
+// the identifier for f(...), the selector's Sel for x.f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// rootObj walks to the leftmost identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x, (x)) and returns its object, or nil.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj is declared outside [lo, hi) —
+// i.e. the mutation target outlives the loop body, so iteration order
+// can leak into it.
+func declaredOutside(obj types.Object, lo, hi token.Pos) bool {
+	if obj == nil {
+		// Unresolvable roots (e.g. a call's result) are treated as
+		// outside: flagging a false negative here would hide real
+		// escapes behind method-chained receivers.
+		return true
+	}
+	return obj.Pos() < lo || obj.Pos() >= hi
+}
+
+// mentionsObj reports whether the expression subtree references obj.
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// onlyMentions reports whether every identifier in the subtree that
+// resolves to a variable is one of the allowed objects (constants,
+// types, and functions are ignored).
+func onlyMentions(info *types.Info, e ast.Expr, allowed map[types.Object]bool) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return ok
+		}
+		if v, isVar := info.ObjectOf(id).(*types.Var); isVar && !allowed[v] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal in file whose body encloses pos, or nil.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			best = body // keep descending: innermost wins
+		}
+		return true
+	})
+	return best
+}
+
+// isFloat and isString classify the underlying basic kind of t.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,165 @@
+package detlint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The corpus harness: each testdata/<dir> is one loose package run
+// against a chosen analyzer set, and its `want` comments are the
+// expected-diagnostic spec. `// want "re" ...` expects one finding per
+// quoted regexp on its own line; `// want-above "re" ...` expects them
+// on the previous line (for findings that land on comment-only lines,
+// like the suppression mechanism's own diagnostics). Expectations are
+// exact in both directions: an unexpected finding fails, and so does an
+// expected one that never fires.
+
+var wantRE = regexp.MustCompile(`//\s*want(-above)?((?:\s+"[^"]*")+)`)
+var wantArgRE = regexp.MustCompile(`"([^"]*)"`)
+
+// wantsFromDir parses expectations from every corpus file in dir,
+// keyed by "file:line".
+func wantsFromDir(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lineNo := i + 1
+			if m[1] == "-above" {
+				lineNo--
+			}
+			key := fmt.Sprintf("%s:%d", path, lineNo)
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[2], -1) {
+				wants[key] = append(wants[key], arg[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runCorpus loads testdata/<name> and checks the analyzers' findings
+// against the corpus's want comments.
+func runCorpus(t *testing.T, name string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", name, err)
+	}
+	findings := Check([]*Package{pkg}, analyzers)
+
+	wants := wantsFromDir(t, dir)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		res := wants[key]
+		matched := -1
+		for i, re := range res {
+			if regexp.MustCompile(re).MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		wants[key] = append(res[:matched], res[matched+1:]...)
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: expected finding matching %q never fired", key, re)
+		}
+	}
+	return findings
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+func TestMaporderCorpus(t *testing.T) {
+	fs := runCorpus(t, "maporder", []*Analyzer{analyzerByName(t, "maporder")})
+	if len(fs) == 0 {
+		t.Fatal("negative corpus produced no findings")
+	}
+}
+
+func TestSeedruleCorpus(t *testing.T) {
+	fs := runCorpus(t, "seedrule", []*Analyzer{analyzerByName(t, "seedrule")})
+	if len(fs) == 0 {
+		t.Fatal("negative corpus produced no findings")
+	}
+}
+
+func TestPoolonlyCorpus(t *testing.T) {
+	fs := runCorpus(t, "poolonly", []*Analyzer{analyzerByName(t, "poolonly")})
+	if len(fs) == 0 {
+		t.Fatal("negative corpus produced no findings")
+	}
+}
+
+// TestPoolonlyScenarioExemption: the same go statements are legal under
+// the internal/scenario path, which owns the pool.
+func TestPoolonlyScenarioExemption(t *testing.T) {
+	fs := runCorpus(t, "poolscenario", []*Analyzer{analyzerByName(t, "poolonly")})
+	if len(fs) != 0 {
+		t.Fatalf("internal/scenario path must be exempt, got %v", fs)
+	}
+}
+
+func TestMapprintCorpus(t *testing.T) {
+	fs := runCorpus(t, "mapprint", []*Analyzer{analyzerByName(t, "mapprint")})
+	if len(fs) == 0 {
+		t.Fatal("negative corpus produced no findings")
+	}
+}
+
+// TestSuppressCorpus covers the //detlint:allow mechanism end to end:
+// with-reason suppressions (above and inline) silence findings, a
+// reasonless directive both fails to suppress and is reported, a stale
+// directive is reported, and an unknown analyzer name is reported.
+func TestSuppressCorpus(t *testing.T) {
+	fs := runCorpus(t, "suppress", []*Analyzer{analyzerByName(t, "poolonly")})
+	var meta, poolonly int
+	for _, f := range fs {
+		switch f.Analyzer {
+		case MetaAnalyzer:
+			meta++
+		case "poolonly":
+			poolonly++
+		}
+	}
+	if meta != 3 {
+		t.Errorf("want 3 meta findings (malformed, stale, unknown), got %d:\n%v", meta, fs)
+	}
+	if poolonly != 1 {
+		t.Errorf("want exactly 1 unsuppressed poolonly finding, got %d:\n%v", poolonly, fs)
+	}
+}

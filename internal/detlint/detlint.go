@@ -1,0 +1,137 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one determinism check. Run inspects a type-checked
+// package through its Pass and reports findings; it must not retain the
+// Pass after returning.
+type Analyzer struct {
+	// Name is the identifier used in elvet output, `elvet -list`, and
+	// //detlint:allow directives.
+	Name string
+	// Doc is the one-line description shown by `elvet -list` and
+	// cross-checked against ARCHITECTURE.md by scripts/check-docs.sh.
+	Doc string
+	// Run reports this analyzer's findings on one package.
+	Run func(*Pass)
+}
+
+// Analyzers returns the registered determinism analyzers in the fixed
+// order elvet runs and lists them.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{maporder, seedrule, poolonly, mapprint}
+}
+
+// MetaAnalyzer is the pseudo-analyzer name under which the suppression
+// mechanism's own findings (malformed, unknown-analyzer, and stale
+// //detlint:allow directives) are reported. It is not a registered
+// analyzer and its findings cannot themselves be suppressed.
+const MetaAnalyzer = "detlint"
+
+// A Finding is one diagnostic at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// analyzer is the check currently running, set by Check before
+	// each Run; Reportf attributes findings to it.
+	analyzer *Analyzer
+
+	// Path is the package's import path. Corpus files may override it
+	// with a //detlint:path directive so path-scoped analyzers
+	// (poolonly, seedrule's wall-clock check) can be exercised from
+	// testdata.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Finding)
+}
+
+// Reportf records a finding at pos, attributed to the running
+// analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// inInternal reports whether the pass's package lives under internal/,
+// the scope of the repository's simulation-determinism rules (cmd/ and
+// examples/ may read wall clocks for CLI telemetry, for instance).
+func (p *Pass) inInternal() bool {
+	return strings.Contains(p.Path, "internal/")
+}
+
+// Check runs the given analyzers over each package, applies
+// //detlint:allow suppressions, reports the suppression mechanism's own
+// findings, and returns everything sorted by position. A nil analyzers
+// slice means Analyzers().
+func Check(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+
+		var raw []Finding
+		pass := &Pass{
+			Path:   pkg.Path,
+			Fset:   pkg.Fset,
+			Files:  pkg.Files,
+			Pkg:    pkg.Pkg,
+			Info:   pkg.Info,
+			report: func(f Finding) { raw = append(raw, f) },
+		}
+		for _, a := range analyzers {
+			pass.analyzer = a
+			a.Run(pass)
+		}
+
+		out = append(out, applyDirectives(raw, dirs, known, ran)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}

@@ -1,0 +1,38 @@
+// Package detlint statically enforces the repository's determinism
+// invariants: every artifact must be byte-identical across -parallel
+// values and re-runs, so the bug classes that silently break that
+// promise — order-sensitive reductions over map iteration, RNG roots
+// not derived from the (seed, name) rule, wall-clock reads in
+// simulation code, goroutines that bypass the shared scenario.Pool,
+// and maps formatted directly into artifact output — are caught at
+// vet-time instead of golden-time.
+//
+// Four analyzers are registered (see Analyzers):
+//
+//   - maporder: order-sensitive work inside `for range` over a map —
+//     float or string accumulation, escaping appends, output writes —
+//     the class of the PR 5 cloud.Datacenter.VMHours bug.
+//   - seedrule: RNG construction whose seed is not rooted in
+//     sim.SeedFor, a Config.Seed, or a constant; math/rand imports;
+//     wall-clock (time.Now) reads inside internal/ simulation code.
+//   - poolonly: bare go statements in internal/ packages other than
+//     internal/scenario, which owns the global -parallel cap.
+//   - mapprint: a map value passed straight to a fmt formatting or
+//     printing call, which renders in random iteration order.
+//
+// Findings are suppressed, one site at a time, with a mandatory-reason
+// comment on the offending line or the line above:
+//
+//	//detlint:allow <analyzer> <reason>
+//
+// A directive without a reason is itself a finding, as is a stale
+// directive with no matching finding underneath — suppressions cannot
+// rot silently. Test files are never analyzed: the invariants guard
+// artifact-producing code, and tests are free to use wall clocks and
+// ad-hoc goroutines.
+//
+// The suite is dependency-free: packages are enumerated with
+// `go list -export`, parsed with go/parser, and type-checked with
+// go/types against the build cache's export data, so elvet (cmd/elvet)
+// runs anywhere the go toolchain does.
+package detlint

@@ -1,0 +1,229 @@
+package detlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file loads type-checked packages without any dependency beyond
+// the go toolchain itself: `go list -export -deps` enumerates the
+// packages matching the caller's patterns and materializes gc export
+// data for every import in the build cache, go/parser reads the target
+// sources, and go/types checks them against that export data through
+// the stdlib gc importer. This is the issue's stdlib fallback for
+// golang.org/x/tools/go/analysis — the module stays dependency-free.
+
+// A Package is one parsed, type-checked package ready for Check.
+type Package struct {
+	// Path is the import path analyzers scope on (see Pass.Path).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` on the patterns in dir
+// and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies go/types through the stdlib gc importer,
+// resolving each import path to the export-data file `go list -export`
+// reported for it.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("detlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// Load enumerates the packages matching patterns (resolved in dir, ""
+// meaning the current directory), parses their non-test sources, and
+// type-checks them against build-cache export data. Test files are
+// deliberately excluded: the determinism invariants guard
+// artifact-producing code, and tests may use wall clocks, ad-hoc
+// goroutines, and throwaway seeds freely.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("detlint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("detlint: type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{Path: t.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// pathDirective is the corpus-only override that assigns a loose
+// directory an effective import path, so path-scoped analyzers can be
+// exercised from testdata:
+//
+//	//detlint:path elearncloud/internal/example
+const pathDirective = "detlint:path"
+
+// LoadDir parses every non-test .go file in dir as one loose package —
+// the corpus form used by the analyzer testdata and `elvet -dir`. The
+// files may import the standard library only; the effective import
+// path defaults to "corpus/<dirname>" unless a //detlint:path
+// directive in any file overrides it.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	path := "corpus/" + filepath.Base(dir)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			p, _ := strconv.Unquote(spec.Path.Value)
+			imports[p] = true
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if text, ok := strings.CutPrefix(c.Text, "//"+pathDirective); ok {
+					if fields := strings.Fields(text); len(fields) == 1 {
+						path = fields[0]
+					}
+				}
+			}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("detlint: no Go files in %s", dir)
+	}
+
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		var pats []string
+		for p := range imports {
+			pats = append(pats, p)
+		}
+		sort.Strings(pats)
+		listed, err := goList("", pats)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,253 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// maporder guards the invariant that broke in PR 5's
+// cloud.Datacenter.VMHours: Go randomizes map iteration order per run,
+// so any `for range` over a map whose body does order-sensitive work
+// makes the result depend on the run, not the seed. Four body shapes
+// are order-sensitive:
+//
+//   - float (or complex) accumulation into a variable that outlives the
+//     loop: float addition is not associative, so the rounded total
+//     depends on visit order — the VMHours class exactly;
+//   - string accumulation, where order is the output;
+//   - appends to a slice that outlives the loop, unless the append
+//     collects only the range key (the standard collect-then-sort
+//     idiom) or the slice is passed to a sort.*/slices.Sort* call later
+//     in the same function;
+//   - writes to an output sink: fmt print/Fprint calls, io.WriteString,
+//     Write*/AddRow/AddNote/Observe methods, or TimeSeries.Add.
+//
+// Integer accumulation, counting, min/max folds and other commutative
+// reductions are deliberately not flagged. The fix is always the same:
+// range over sorted keys.
+var maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive reduction or output inside for-range over a map",
+	Run:  runMaporder,
+}
+
+// writerMethods are method names that emit or record ordered data; a
+// call on a receiver declared outside a map-range body is a finding.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"AddRow": true, "AddNote": true, "Observe": true,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(p, file, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(p *Pass, file *ast.File, rs *ast.RangeStmt) {
+	body := rs.Body
+	keyObj := rangeVarObj(p.Info, rs.Key)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAccumulation(p, body, st)
+		case *ast.CallExpr:
+			checkCallSink(p, file, rs, body, st, keyObj)
+		}
+		return true
+	})
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// checkAccumulation flags float/string reductions into variables that
+// outlive the loop body: s += x, s -= x, s *= x, s /= x, and the
+// spelled-out s = s + x form.
+func checkAccumulation(p *Pass, body *ast.BlockStmt, as *ast.AssignStmt) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[0]
+	t := p.Info.TypeOf(lhs)
+	if t == nil || !(isFloat(t) || isString(t)) {
+		return
+	}
+	obj := rootObj(p.Info, lhs)
+
+	accumulates := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accumulates = true
+	case token.ASSIGN:
+		// s = s + x (or any binary expression that re-reads s).
+		if be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && obj != nil {
+			accumulates = mentionsObj(p.Info, be, obj)
+		}
+	}
+	if !accumulates || !declaredOutside(obj, body.Pos(), body.End()) {
+		return
+	}
+	kind := "float"
+	if isString(t) {
+		kind = "string"
+	}
+	p.Reportf(as.Pos(),
+		"%s accumulation inside for-range over a map depends on iteration order; range over sorted keys (the cloud.Datacenter.VMHours bug class)", kind)
+}
+
+// checkCallSink flags appends that escape the loop and calls that write
+// ordered output from inside the loop body.
+func checkCallSink(p *Pass, file *ast.File, rs *ast.RangeStmt, body *ast.BlockStmt, call *ast.CallExpr, keyObj types.Object) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if isBuiltinAppend(p.Info, fun) {
+			checkAppend(p, file, rs, body, call, keyObj)
+		}
+	case *ast.SelectorExpr:
+		switch pkg := pkgNameOf(p.Info, fun); {
+		case pkg == "fmt":
+			name := fun.Sel.Name
+			if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+				p.Reportf(call.Pos(),
+					"fmt.%s inside for-range over a map emits output in random iteration order; range over sorted keys", name)
+			}
+		case pkg == "io" && fun.Sel.Name == "WriteString":
+			p.Reportf(call.Pos(),
+				"io.WriteString inside for-range over a map emits output in random iteration order; range over sorted keys")
+		case pkg == "":
+			checkMethodSink(p, body, call, fun)
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, id *ast.Ident) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// checkMethodSink flags writer-method calls on receivers that outlive
+// the loop: strings.Builder/bytes.Buffer writes, metrics.Table rows,
+// histogram observations, and TimeSeries points are all ordered.
+func checkMethodSink(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, fun *ast.SelectorExpr) {
+	name := fun.Sel.Name
+	isSink := writerMethods[name]
+	if !isSink && name == "Add" {
+		// Add is too generic to flag wholesale (Counter.Add commutes);
+		// only the point-appending TimeSeries.Add is order-sensitive.
+		isSink = namedTypeIs(p.Info.TypeOf(fun.X), "TimeSeries")
+	}
+	if !isSink {
+		return
+	}
+	obj := rootObj(p.Info, fun.X)
+	if !declaredOutside(obj, body.Pos(), body.End()) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"%s call inside for-range over a map records data in random iteration order; range over sorted keys", name)
+}
+
+func namedTypeIs(t types.Type, name string) bool {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+		case *types.Named:
+			return v.Obj().Name() == name
+		default:
+			return false
+		}
+	}
+}
+
+// checkAppend flags `s = append(s, ...)` where s outlives the loop,
+// with two idiomatic escapes: appending only the range key (the
+// collect-then-sort idiom's first half) and slices that are passed to a
+// sort call later in the same function.
+func checkAppend(p *Pass, file *ast.File, rs *ast.RangeStmt, body *ast.BlockStmt, call *ast.CallExpr, keyObj types.Object) {
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := rootObj(p.Info, call.Args[0])
+	if obj == nil || !declaredOutside(obj, body.Pos(), body.End()) {
+		return
+	}
+	// Escape 1: the appended elements mention no variable beyond the
+	// range key — collecting keys is exactly how the fix starts.
+	allowed := map[types.Object]bool{keyObj: true}
+	keyOnly := true
+	for _, arg := range call.Args[1:] {
+		if !onlyMentions(p.Info, arg, allowed) {
+			keyOnly = false
+			break
+		}
+	}
+	if keyOnly {
+		return
+	}
+	// Escape 2: the slice is sorted after the loop, so iteration order
+	// is erased before anyone reads it.
+	if sortedAfter(p, file, rs, obj) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"append to %s inside for-range over a map builds a slice in random iteration order; range over sorted keys or sort the result", obj.Name())
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.Sort*
+// call after the range statement, within the function enclosing it.
+func sortedAfter(p *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	fn := enclosingFuncBody(file, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := pkgNameOf(p.Info, sel)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(p.Info, arg, obj) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

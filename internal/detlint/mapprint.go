@@ -1,0 +1,57 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapprint catches the quiet cousin of the maporder bug: handing a map
+// value straight to a fmt formatting or printing call. fmt renders maps
+// in key-sorted order since Go 1.12, which hides the hazard in simple
+// cases — but %v of a struct containing a map, maps with NaN keys, and
+// any future formatter change still make the byte output a function of
+// something other than the seed. Artifact output must come from
+// explicit sorted-key iteration, never from formatting the map itself.
+var mapprint = &Analyzer{
+	Name: "mapprint",
+	Doc:  "map value formatted directly by a fmt call; artifact bytes must come from sorted-key iteration",
+	Run:  runMapprint,
+}
+
+// fmtVerbFuncs are the fmt functions whose non-writer arguments are
+// formatted into output.
+func isFmtFormatter(name string) bool {
+	for _, prefix := range []string{"Print", "Fprint", "Sprint", "Append", "Errorf"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapprint(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || pkgNameOf(p.Info, sel) != "fmt" || !isFmtFormatter(sel.Sel.Name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := p.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(arg.Pos(),
+						"map value passed to fmt.%s formats in iteration-dependent order; print sorted keys explicitly", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package detlint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// poolonly guards the global -parallel contract: scenario.Pool is the
+// one concurrency primitive in the tree, so its token count is a true
+// global cap and the determinism tests' serial reference path
+// (workers=1) exercises every scheduling decision. A bare go statement
+// anywhere else in internal/ would run outside the cap, and any result
+// it influences could depend on scheduling the pool never sees.
+// internal/scenario itself is exempt — it is the pool's implementation
+// — as are cmd/ and examples/ (no simulation state of their own) and
+// all test files.
+var poolonly = &Analyzer{
+	Name: "poolonly",
+	Doc:  "bare go statements in internal/ outside internal/scenario; concurrency must flow through scenario.Pool",
+	Run:  runPoolonly,
+}
+
+func runPoolonly(p *Pass) {
+	if !p.inInternal() || strings.HasSuffix(p.Path, "internal/scenario") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"bare go statement outside internal/scenario runs outside the global -parallel cap; run it through scenario.Pool")
+			}
+			return true
+		})
+	}
+}

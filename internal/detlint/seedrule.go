@@ -1,0 +1,151 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// seedrule enforces the repository's RNG discipline: all randomness is
+// rooted at sim.SeedFor(seed, name) or an explicit Config.Seed, so a
+// run is a pure function of its seed. Three ways code can break that:
+//
+//   - importing math/rand (v1 or v2): its global functions draw from a
+//     process-wide source the (seed, name) rule cannot reach — the
+//     repo's own sim.RNG is the only sanctioned generator;
+//   - constructing a generator (NewRNG, NewEngine, rand.New*) from a
+//     seed expression not rooted in SeedFor/Stream, a .Seed field, a
+//     seed-named variable, or a compile-time constant;
+//   - reading the wall clock (time.Now) inside internal/ packages:
+//     simulated time comes from the engine, and a wall-clock read that
+//     leaks into results breaks re-run identity. Genuine telemetry
+//     sites carry a //detlint:allow seedrule directive saying why.
+var seedrule = &Analyzer{
+	Name: "seedrule",
+	Doc:  "RNG roots not derived from sim.SeedFor/Config.Seed; math/rand imports; wall-clock reads in internal/",
+	Run:  runSeedrule,
+}
+
+// rngConstructors are the generator-building callees whose first
+// argument is a seed (or seed source) subject to the rooting rule.
+var rngConstructors = map[string]bool{
+	"NewRNG": true, "NewEngine": true,
+	"New":       false, // rand.New takes a Source; its NewSource call is what carries the seed
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeedrule(p *Pass) {
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(spec.Pos(),
+					"import of %s: its global source cannot be rooted at sim.SeedFor; use internal/sim's RNG", path)
+			}
+		}
+		// First pass: constructor seed arguments. Their spans are
+		// remembered so a time.Now inside one reports once, at seed
+		// level, not again as a bare wall-clock read.
+		type span struct{ lo, hi token.Pos }
+		var seedArgs []span
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if seeded, isCtor := rngConstructors[name]; isCtor && seeded && len(call.Args) > 0 {
+				seedArgs = append(seedArgs, span{call.Args[0].Pos(), call.Args[0].End()})
+				checkSeedArg(p, call, name)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isWallClock(p.Info, call) {
+				return true
+			}
+			for _, s := range seedArgs {
+				if call.Pos() >= s.lo && call.Pos() < s.hi {
+					return true
+				}
+			}
+			if p.inInternal() {
+				p.Reportf(call.Pos(),
+					"time.Now in simulation code: wall-clock reads break re-run identity (telemetry sites need a //detlint:allow seedrule reason)")
+			}
+			return true
+		})
+	}
+}
+
+// isWallClock reports a call to time.Now (resolved through the import,
+// so a local func Now() does not count).
+func isWallClock(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	return pkgNameOf(info, sel) == "time"
+}
+
+// checkSeedArg applies the rooting rule to a constructor's seed
+// expression: it must not read the wall clock, and it must mention one
+// of the sanctioned roots.
+func checkSeedArg(p *Pass, call *ast.CallExpr, ctor string) {
+	seed := call.Args[0]
+	wallClock := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isWallClock(p.Info, c) {
+			wallClock = true
+		}
+		return !wallClock
+	})
+	if wallClock {
+		p.Reportf(call.Pos(),
+			"%s seeded from time.Now: wall-clock seeds make every run unreproducible; derive the seed with sim.SeedFor", ctor)
+		return
+	}
+	if !seedRooted(p.Info, seed) {
+		p.Reportf(call.Pos(),
+			"%s seed is not rooted in sim.SeedFor, a Config.Seed, or a constant; results will not be a pure function of the run's seed", ctor)
+	}
+}
+
+// seedRooted reports whether the seed expression's subtree reaches one
+// of the sanctioned determinism roots:
+//
+//   - a call to SeedFor or Stream (the (seed, name) derivation rule),
+//   - a .Seed field selection (Config.Seed and friends),
+//   - a variable or field whose name contains "seed",
+//   - a compile-time constant (fixed seeds are reproducible by nature).
+func seedRooted(info *types.Info, seed ast.Expr) bool {
+	if tv, ok := info.Types[seed]; ok && tv.Value != nil {
+		return true
+	}
+	rooted := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if rooted {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			name := calleeName(v)
+			if name == "SeedFor" || name == "Stream" {
+				rooted = true
+			}
+		case *ast.SelectorExpr:
+			if v.Sel.Name == "Seed" {
+				rooted = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(v.Name), "seed") {
+				rooted = true
+			}
+		}
+		return !rooted
+	})
+	return rooted
+}

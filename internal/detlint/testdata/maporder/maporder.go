@@ -1,0 +1,105 @@
+// Negative corpus for the maporder analyzer: every line carrying a
+// `want` comment must produce a finding whose message matches the
+// quoted regexp.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// floatSum is the VMHours bug class verbatim: a float reduction whose
+// rounded total depends on map visit order.
+func floatSum(hours map[int]float64) float64 {
+	total := 0.0
+	for _, h := range hours {
+		total += h // want "float accumulation inside for-range over a map"
+	}
+	return total
+}
+
+// spelledOut catches the non-compound spelling of the same reduction.
+func spelledOut(hours map[int]float64) float64 {
+	total := 0.0
+	for _, h := range hours {
+		total = total + h // want "float accumulation inside for-range over a map"
+	}
+	return total
+}
+
+// stringConcat: order is the output.
+func stringConcat(names map[string]bool) string {
+	s := ""
+	for n := range names {
+		s += n // want "string accumulation inside for-range over a map"
+	}
+	return s
+}
+
+// intSum is commutative and exact: not flagged.
+func intSum(counts map[string]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// localFloat accumulates into a variable scoped to the body: each
+// iteration starts fresh, so order cannot leak.
+func localFloat(m map[string][]float64) {
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		_ = s
+	}
+}
+
+// escapingAppend builds a value slice in map order and never sorts it.
+func escapingAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append to out inside for-range over a map"
+	}
+	return out
+}
+
+// keyCollect is the first half of the canonical fix: allowed.
+func keyCollect(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedLater appends pairs but erases map order with a sort before
+// anyone reads the slice: allowed.
+func sortedLater(m map[string]float64) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// printing emits artifact bytes in map order.
+func printing(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside for-range over a map"
+	}
+}
+
+// building writes into a builder that outlives the loop.
+func building(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString call inside for-range over a map"
+	}
+	return b.String()
+}

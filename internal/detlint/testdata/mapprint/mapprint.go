@@ -1,0 +1,34 @@
+// Negative corpus for the mapprint analyzer: map values must never be
+// handed to fmt directly on an artifact path.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+func direct(shares map[string]float64) string {
+	return fmt.Sprintf("shares: %v", shares) // want "map value passed to fmt.Sprintf"
+}
+
+func printed(counts map[int]int) {
+	fmt.Println(counts) // want "map value passed to fmt.Println"
+}
+
+func inError(missing map[string]bool) error {
+	return fmt.Errorf("missing ids: %v", missing) // want "map value passed to fmt.Errorf"
+}
+
+// sortedRender is the sanctioned shape: explicit sorted-key iteration.
+func sortedRender(shares map[string]float64) string {
+	keys := make([]string, 0, len(shares))
+	for k := range shares {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%g ", k, shares[k])
+	}
+	return out
+}

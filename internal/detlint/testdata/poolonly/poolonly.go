@@ -1,0 +1,23 @@
+// Negative corpus for the poolonly analyzer: this package is planted
+// under internal/ (outside internal/scenario), where bare go statements
+// escape the global -parallel cap.
+//
+//detlint:path elearncloud/internal/corpus
+package corpus
+
+func fanOut(jobs []func()) {
+	done := make(chan struct{})
+	for _, j := range jobs {
+		go func() { // want "bare go statement outside internal/scenario"
+			j()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		<-done
+	}
+}
+
+func fireAndForget(f func()) {
+	go f() // want "bare go statement outside internal/scenario"
+}

@@ -1,0 +1,15 @@
+// Positive corpus for the poolonly analyzer's exemption: bare go
+// statements are legal inside internal/scenario, the package that owns
+// the global -parallel cap. No findings expected.
+//
+//detlint:path elearncloud/internal/scenario
+package corpus
+
+func recruit(run func()) {
+	done := make(chan struct{})
+	go func() {
+		run()
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,56 @@
+// Negative corpus for the seedrule analyzer. The path directive plants
+// this package under internal/ so the wall-clock check applies, exactly
+// as it does to the real simulation packages.
+//
+//detlint:path elearncloud/internal/corpus
+package corpus
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// RNG stands in for sim.RNG; seedrule matches constructors by name.
+type RNG struct{ state uint64 }
+
+// NewRNG mirrors sim.NewRNG's shape.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// SeedFor mirrors sim.SeedFor's shape.
+func SeedFor(seed uint64, name string) uint64 { return seed + uint64(len(name)) }
+
+type config struct{ Seed uint64 }
+
+// rooted constructions: derived, explicit, field-carried, or constant.
+func rooted(cfg config) {
+	seed := uint64(7)
+	_ = NewRNG(seed)
+	_ = NewRNG(SeedFor(1, "job"))
+	_ = NewRNG(cfg.Seed)
+	_ = NewRNG(42)
+	_ = NewRNG(shardSeed(3))
+}
+
+func shardSeed(i int) uint64 { return uint64(i) }
+
+// unrooted: an arbitrary variable is not a seed.
+func unrooted(workers uint64) {
+	_ = NewRNG(workers) // want "NewRNG seed is not rooted"
+}
+
+// wallClockSeed is the classic crime: every run gets a different world.
+func wallClockSeed() {
+	_ = NewRNG(uint64(time.Now().UnixNano())) // want "NewRNG seeded from time.Now"
+}
+
+// globalRand uses the process-wide source the (seed, name) rule cannot
+// reach; the import line above is the finding.
+func globalRand() int {
+	src := rand.NewSource(time.Now().UnixNano()) // want "NewSource seeded from time.Now"
+	return rand.New(src).Int()
+}
+
+// wallClock reads the clock inside internal/ simulation code.
+func wallClock() time.Time {
+	return time.Now() // want "time.Now in simulation code"
+}

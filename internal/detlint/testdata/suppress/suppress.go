@@ -1,0 +1,40 @@
+// Corpus for the //detlint:allow suppression mechanism, exercised
+// against poolonly findings (syntactic, so the file stays small).
+// `want` expects findings on its own line; `want-above` expects them on
+// the line above (needed when the finding sits on a comment-only or
+// directive-carrying line).
+//
+//detlint:path elearncloud/internal/corpus
+package corpus
+
+// suppressedAbove: a well-formed directive on the line above silences
+// the finding. No want comment — nothing may be reported.
+func suppressedAbove(f func()) {
+	//detlint:allow poolonly corpus demonstration of a justified escape
+	go f()
+}
+
+// suppressedInline: trailing form on the offending line.
+func suppressedInline(f func()) {
+	go f() //detlint:allow poolonly corpus demonstration of a justified escape
+}
+
+// missingReason: a directive without a reason suppresses nothing and is
+// itself reported — the go statement fires alongside it.
+func missingReason(f func()) {
+	go f() //detlint:allow poolonly
+	// want-above "bare go statement" "malformed //detlint:allow"
+}
+
+// staleDirective covers no finding at all: the code was fixed, the
+// excuse must go.
+func staleDirective(f func()) {
+	f() //detlint:allow poolonly nothing underneath anymore
+	// want-above "stale //detlint:allow"
+}
+
+// unknownAnalyzer names a check elvet does not register.
+func unknownAnalyzer(f func()) {
+	f() //detlint:allow determinizer typo of a real analyzer name
+	// want-above "unknown analyzer"
+}

@@ -28,6 +28,7 @@ func NewRNG(seed uint64) *RNG {
 // order in which streams are created does not matter.
 func (r *RNG) Stream(name string) *RNG {
 	h := fnv64(name)
+	//detlint:allow seedrule Stream IS the (seed, name) derivation rule the analyzer roots everything else in
 	return NewRNG(r.state ^ h ^ 0x2545f4914f6cdd1d)
 }
 

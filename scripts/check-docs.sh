@@ -18,11 +18,17 @@
 # surface brought up in PR 4 cannot silently regress when a package is
 # added or its doc.go is deleted.
 #
-# Finally, the scenario catalog (docs/SCENARIOS.md, overridable via
+# The scenario catalog (docs/SCENARIOS.md, overridable via
 # CATALOG= for the negative tests) must list exactly the experiment ids
 # the registry knows — enumerated with `elbench -list` — in both
 # directions: a registered id missing from the catalog fails, and a
 # catalog row naming an unknown id fails, so the table can never rot.
+#
+# Finally, the determinism-analyzer table in ARCHITECTURE.md's
+# "Determinism invariants, statically enforced" section (overridable
+# via ARCHDOC= for the negative tests) must name exactly the analyzers
+# `elvet -list` registers, both directions, so the linter's documented
+# contract can never drift from its registry either.
 set -eu
 
 files="README.md ARCHITECTURE.md ROADMAP.md examples/README.md docs/SCENARIOS.md"
@@ -119,8 +125,45 @@ else
     done
 fi
 
+# Analyzer cross-check: the first column of the analyzer table inside
+# the "Determinism invariants, statically enforced" section must match
+# `elvet -list` exactly. The section is sliced out with awk so other
+# backticked first-column tables elsewhere in the doc cannot
+# contaminate the comparison.
+archdoc="${ARCHDOC:-ARCHITECTURE.md}"
+if [ ! -f "$archdoc" ]; then
+    echo "check-docs: missing architecture doc: $archdoc" >&2
+    fail=1
+elif ! command -v go >/dev/null 2>&1; then
+    echo "check-docs: go toolchain unavailable; skipping the analyzer cross-check" >&2
+else
+    registered=$(go run ./cmd/elvet -list | cut -f1)
+    # `|| true`: a doc with no analyzer rows must fall through to the
+    # loops (every registered analyzer reported missing), not abort.
+    documented=$(awk '/^## Determinism invariants, statically enforced/,/^## The shared/' "$archdoc" |
+        grep -oE '^\| *`[a-z0-9]+` *\|' | tr -d '|` ' || true)
+    for a in $registered; do
+        case " $(echo $documented) " in
+        *" $a "*) ;;
+        *)
+            echo "check-docs: analyzer $a is registered in elvet but missing from $archdoc's invariants table" >&2
+            fail=1
+            ;;
+        esac
+    done
+    for a in $documented; do
+        case " $(echo $registered) " in
+        *" $a "*) ;;
+        *)
+            echo "check-docs: $archdoc documents analyzer $a but elvet does not register it (see elvet -list)" >&2
+            fail=1
+            ;;
+        esac
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check-docs: FAILED" >&2
     exit 1
 fi
-echo "check-docs: links, golden citations, package doc comments and the scenario catalog all check out"
+echo "check-docs: links, golden citations, package doc comments, the scenario catalog and the analyzer registry all check out"
