@@ -108,7 +108,9 @@ func run(args []string, w io.Writer) error {
 	compareFormat := fs.String("compare-format", "text",
 		"-compare report format: text, markdown or json")
 	listMode := fs.Bool("list", false,
-		"print registered experiment ids and titles (tab-separated) and exit without running anything")
+		"print registered experiment ids, titles and tags (tab-separated) and exit without running anything")
+	tagFilter := fs.String("tag", "",
+		"with -list: only print experiments carrying this tag (leading @ optional; unknown tags are an error)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +140,9 @@ func run(args []string, w io.Writer) error {
 	if modes > 1 {
 		return fmt.Errorf("-json, -verify, -update, -compare and -list are mutually exclusive")
 	}
+	if *tagFilter != "" && !*listMode {
+		return fmt.Errorf("-tag filters the registry listing and only applies with -list")
+	}
 	if *listMode {
 		// Pure registry enumeration: nothing is simulated, so the
 		// generation flags have nothing to act on (same policy as
@@ -152,8 +157,27 @@ func run(args []string, w io.Writer) error {
 		if len(gen) > 0 {
 			return fmt.Errorf("%s: artifact-generation flags do not apply to -list, which only reads the registry", strings.Join(gen, ", "))
 		}
+		if *tagFilter != "" {
+			want := *tagFilter
+			if !strings.HasPrefix(want, "@") {
+				want = "@" + want
+			}
+			known := false
+			for _, t := range experiments.KnownTags() {
+				if t == want {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("unknown tag %q (known: %s)", *tagFilter, strings.Join(experiments.KnownTags(), " "))
+			}
+		}
 		for _, e := range experiments.All() {
-			if _, err := fmt.Fprintf(w, "%s\t%s\n", e.ID, e.Title); err != nil {
+			if *tagFilter != "" && !e.HasTag(*tagFilter) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", e.ID, e.Title, strings.Join(e.Tags, " ")); err != nil {
 				return err
 			}
 		}

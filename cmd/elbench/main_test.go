@@ -15,9 +15,9 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
-// TestRunList: -list enumerates the registry as one id<TAB>title line
-// per experiment, in registry order, without simulating anything (it
-// returns instantly even though a full run takes tens of seconds).
+// TestRunList: -list enumerates the registry as one id<TAB>title<TAB>tags
+// line per experiment, in registry order, without simulating anything
+// (it returns instantly even though a full run takes tens of seconds).
 func TestRunList(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-list"}, &buf); err != nil {
@@ -29,10 +29,53 @@ func TestRunList(t *testing.T) {
 		t.Fatalf("-list printed %d lines, want %d", len(lines), len(all))
 	}
 	for i, e := range all {
-		id, title, ok := strings.Cut(lines[i], "\t")
-		if !ok || id != e.ID || title != e.Title {
-			t.Errorf("line %d = %q, want %q<TAB>%q", i, lines[i], e.ID, e.Title)
+		cols := strings.Split(lines[i], "\t")
+		if len(cols) != 3 || cols[0] != e.ID || cols[1] != e.Title ||
+			cols[2] != strings.Join(e.Tags, " ") {
+			t.Errorf("line %d = %q, want %q<TAB>%q<TAB>%q",
+				i, lines[i], e.ID, e.Title, strings.Join(e.Tags, " "))
 		}
+	}
+}
+
+// TestRunListTagFilter: -tag narrows the listing to experiments
+// carrying the tag, with the leading @ optional.
+func TestRunListTagFilter(t *testing.T) {
+	for _, tag := range []string{"@mooc", "mooc"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-list", "-tag", tag}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		want := 0
+		for _, e := range experiments.All() {
+			if e.HasTag("@mooc") {
+				want++
+			}
+		}
+		if want == 0 || len(lines) != want {
+			t.Fatalf("-list -tag %s printed %d lines, want %d", tag, len(lines), want)
+		}
+		for _, l := range lines {
+			if !strings.Contains(l, "@mooc") {
+				t.Errorf("-list -tag %s printed %q without the tag", tag, l)
+			}
+		}
+	}
+}
+
+// TestRunListUnknownTag: an unregistered tag is a hard error naming
+// the known vocabulary, and -tag without -list is rejected.
+func TestRunListUnknownTag(t *testing.T) {
+	err := run([]string{"-list", "-tag", "bogus"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown tag") {
+		t.Fatalf("unknown tag error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "@mooc") {
+		t.Errorf("error %v does not name the known tags", err)
+	}
+	if err := run([]string{"-tag", "mooc"}, io.Discard); err == nil {
+		t.Fatal("-tag without -list accepted")
 	}
 }
 

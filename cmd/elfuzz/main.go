@@ -1,0 +1,229 @@
+// Command elfuzz is the metamorphic chaos fuzzer: it draws seeded
+// random scenarios from the internal/metamorph families, checks the
+// metamorphic invariant suite on each, and on a violation shrinks the
+// config to the smallest still-failing repro:
+//
+//	elfuzz                              # 25 cases per family, seed 1
+//	elfuzz -family mooc -n 25 -seed 1   # one family, explicit run seed
+//	elfuzz -family storm -minimize      # shrink any violation found
+//	elfuzz -family chaos -case-seed 0xdeadbeef -minimize
+//	                                    # re-run one exact case by seed
+//	elfuzz -list                        # print the family registry
+//
+// Every case is a reproducible (family, case seed) pair: the per-case
+// seeds are derived from the run seed via sim.SeedFor, and the printed
+// repro command pins the case seed directly, so a nightly failure replays
+// locally with one line. -budget bounds wall clock (remaining cases are
+// reported as skipped, never silently dropped); -repro appends each
+// minimized repro to a file for CI artifact upload.
+//
+// Exit codes follow elvet: 0 clean, 1 violations found, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"elearncloud/internal/metamorph"
+	"elearncloud/internal/scenario"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, time.Now))
+}
+
+// run is the testable driver. now supplies wall clock for the budget
+// check (the simulator itself never reads it).
+func run(args []string, stdout, stderr io.Writer, now func() time.Time) int {
+	fs := flag.NewFlagSet("elfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	family := fs.String("family", "all", "family to fuzz (campus, mooc, storm, chaos, or all)")
+	n := fs.Int("n", 25, "cases per family")
+	seed := fs.Uint64("seed", 1, "run seed: case seeds derive from it via sim.SeedFor")
+	budget := fs.Duration("budget", 5*time.Minute, "wall-clock budget; cases beyond it are reported as skipped")
+	minimize := fs.Bool("minimize", false, "shrink each violating config to a minimal repro")
+	caseSeed := fs.String("case-seed", "", "re-run exactly one case by its seed (decimal or 0x hex); requires -family")
+	reproPath := fs.String("repro", "", "append minimized repros to this file (for CI artifacts)")
+	list := fs.Bool("list", false, "print one family per line (name, description, tags) and exit")
+	verbose := fs.Bool("v", false, "print per-invariant detail for every case, not just violations")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: elfuzz [-family name] [-n cases] [-seed N] [-budget dur] [-minimize] [-case-seed N] [-repro file] [-list] [-v]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "elfuzz: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	if *list {
+		for _, f := range metamorph.Families() {
+			fmt.Fprintf(stdout, "%s\t%s\t%s\n", f.Name, f.Desc, strings.Join(f.Tags, " "))
+		}
+		return 0
+	}
+
+	var families []metamorph.Family
+	if *family == "all" {
+		families = metamorph.Families()
+	} else {
+		f, err := metamorph.FindFamily(*family)
+		if err != nil {
+			fmt.Fprintf(stderr, "elfuzz: %v (families: %s)\n", err, familyNames())
+			return 2
+		}
+		families = []metamorph.Family{f}
+	}
+
+	var repro io.Writer
+	if *reproPath != "" {
+		f, err := os.OpenFile(*reproPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "elfuzz: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		repro = f
+	}
+
+	d := driver{
+		stdout: stdout, minimize: *minimize, verbose: *verbose,
+		repro: repro, deadline: now().Add(*budget), now: now,
+	}
+
+	if *caseSeed != "" {
+		if *family == "all" {
+			fmt.Fprintln(stderr, "elfuzz: -case-seed re-runs one case of one family; pass -family")
+			return 2
+		}
+		var cs uint64
+		if _, err := fmt.Sscanf(strings.ToLower(*caseSeed), "0x%x", &cs); err != nil {
+			if _, err := fmt.Sscanf(*caseSeed, "%d", &cs); err != nil {
+				fmt.Fprintf(stderr, "elfuzz: bad -case-seed %q (want decimal or 0x hex)\n", *caseSeed)
+				return 2
+			}
+		}
+		if d.runCase(families[0].Case(cs)); d.violations > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *n <= 0 {
+		fmt.Fprintf(stderr, "elfuzz: -n %d, need > 0\n", *n)
+		return 2
+	}
+	for _, f := range families {
+		for i := 0; i < *n; i++ {
+			if d.now().After(d.deadline) {
+				d.skipped += (*n - i)
+				fmt.Fprintf(stdout, "%s: budget exhausted, skipping %d remaining cases\n", f.Name, *n-i)
+				break
+			}
+			d.runCase(f.Case(metamorph.CaseSeed(*seed, f.Name, i)))
+		}
+	}
+
+	fmt.Fprintf(stdout, "elfuzz: %d cases, %d checks (%d skipped), %d violations",
+		d.cases, d.checks, d.checksSkipped, d.violations)
+	if d.skipped > 0 {
+		fmt.Fprintf(stdout, ", %d cases unrun (budget)", d.skipped)
+	}
+	fmt.Fprintln(stdout)
+	if d.violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// driver accumulates run state across cases.
+type driver struct {
+	stdout   io.Writer
+	repro    io.Writer
+	minimize bool
+	verbose  bool
+	deadline time.Time
+	now      func() time.Time
+
+	cases, checks, checksSkipped, skipped, violations int
+}
+
+// runCase checks one generated case and reports its verdict.
+func (d *driver) runCase(c metamorph.Case) {
+	d.cases++
+	rep := metamorph.CheckCase(c, metamorph.Options{})
+	var failed []metamorph.CheckResult
+	for _, cr := range rep.Results {
+		d.checks++
+		if cr.Skipped != "" {
+			d.checksSkipped++
+		}
+		if cr.V != nil {
+			failed = append(failed, cr)
+		}
+		if d.verbose {
+			switch {
+			case cr.V != nil:
+				fmt.Fprintf(d.stdout, "  %s: VIOLATION: %s\n", cr.Name, cr.V.Detail)
+			case cr.Skipped != "":
+				fmt.Fprintf(d.stdout, "  %s: skipped (%s)\n", cr.Name, cr.Skipped)
+			default:
+				fmt.Fprintf(d.stdout, "  %s: ok\n", cr.Name)
+			}
+		}
+	}
+	if len(failed) == 0 {
+		fmt.Fprintf(d.stdout, "%s seed=%#x: ok (%d checks)\n", c.Family, c.Seed, len(rep.Results))
+		return
+	}
+	d.violations += len(failed)
+	for _, cr := range failed {
+		fmt.Fprintf(d.stdout, "%s seed=%#x: VIOLATION %s: %s\n", c.Family, c.Seed, cr.Name, cr.V.Detail)
+		if d.minimize {
+			d.shrink(c, cr.Name)
+		}
+	}
+}
+
+// shrink minimizes the case's config against the named invariant and
+// prints (and optionally records) the repro.
+func (d *driver) shrink(c metamorph.Case, invName string) {
+	inv, err := metamorph.FindInvariant(invName)
+	if err != nil {
+		fmt.Fprintf(d.stdout, "  minimize: %v\n", err)
+		return
+	}
+	res := metamorph.Minimize(c.Cfg, func(cfg scenario.Config) bool {
+		v, skip := inv.Check(cfg, c.Seed)
+		return skip == "" && v != nil
+	}, 0)
+	lines := metamorph.DescribeConfig(res.Cfg)
+	fmt.Fprintf(d.stdout, "  minimized (%d evals, %d shrinks): \n", res.Evals, len(res.Steps))
+	for _, l := range lines {
+		fmt.Fprintf(d.stdout, "    %s\n", l)
+	}
+	cmd := metamorph.ReproCommand(c.Family, c.Seed)
+	fmt.Fprintf(d.stdout, "  repro: %s\n", cmd)
+	if d.repro != nil {
+		fmt.Fprintf(d.repro, "# %s %s\n", c.Family, invName)
+		for _, l := range lines {
+			fmt.Fprintf(d.repro, "# %s\n", l)
+		}
+		fmt.Fprintf(d.repro, "%s\n\n", cmd)
+	}
+}
+
+// familyNames lists the registered family names for error messages.
+func familyNames() string {
+	var names []string
+	for _, f := range metamorph.Families() {
+		names = append(names, f.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"elearncloud/internal/metamorph"
+)
+
+// fixedNow is a frozen clock: the budget never expires under it.
+func fixedNow() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	return func() time.Time { return t0 }
+}
+
+// tickingNow advances one second per read, so a zero budget is already
+// past its deadline at the first per-case check.
+func tickingNow() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+// TestRunList: -list prints one name<TAB>desc<TAB>tags line per
+// registered family and runs nothing.
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out, io.Discard, fixedNow()); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	fams := metamorph.Families()
+	if len(lines) != len(fams) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(fams))
+	}
+	for i, f := range fams {
+		cols := strings.Split(lines[i], "\t")
+		if len(cols) != 3 || cols[0] != f.Name || cols[2] != strings.Join(f.Tags, " ") {
+			t.Errorf("line %d = %q, want %s<TAB>...<TAB>%s", i, lines[i], f.Name, strings.Join(f.Tags, " "))
+		}
+	}
+}
+
+// TestRunUsageErrors: every malformed invocation exits 2 without
+// running a case.
+func TestRunUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad flag":              {"-bogus"},
+		"unknown family":        {"-family", "nosuch"},
+		"positional args":       {"extra"},
+		"case-seed sans family": {"-case-seed", "0x1"},
+		"bad case-seed":         {"-family", "campus", "-case-seed", "zzz"},
+		"non-positive n":        {"-n", "0"},
+	} {
+		if code := run(args, io.Discard, io.Discard, fixedNow()); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+}
+
+// TestRunSingleCase replays one case by seed — the repro path a
+// nightly failure hands a developer — and must pass on a seed the
+// sweeps cleared. Skipped in -short: it runs the full invariant suite
+// including two request-level simulations.
+func TestRunSingleCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs request-level scenarios")
+	}
+	var out bytes.Buffer
+	args := []string{"-family", "campus", "-case-seed", "0x1"}
+	if code := run(args, &out, io.Discard, fixedNow()); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "campus seed=0x1: ok") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	// Decimal and hex spellings of the seed run the identical case.
+	var dec bytes.Buffer
+	if code := run([]string{"-family", "campus", "-case-seed", "1"}, &dec, io.Discard, fixedNow()); code != 0 {
+		t.Fatalf("decimal seed: exit %d", code)
+	}
+	if dec.String() != out.String() {
+		t.Fatalf("decimal and hex case-seed outputs differ:\n%s\nvs\n%s", dec.String(), out.String())
+	}
+}
+
+// TestRunBudgetExhausted: an already-expired budget reports every case
+// as unrun and still exits 0 (skipping is not a violation).
+func TestRunBudgetExhausted(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-family", "campus", "-n", "5", "-budget", "0s"}, &out, io.Discard, tickingNow())
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skipping 5 remaining cases") ||
+		!strings.Contains(out.String(), "5 cases unrun (budget)") {
+		t.Fatalf("budget exhaustion not reported:\n%s", out.String())
+	}
+}
+
+// TestRunReproFileAppends: -repro must append (CI retries on the same
+// artifact path must not clobber earlier findings) and create the file
+// even when no violation writes to it.
+func TestRunReproFileAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repro.txt")
+	if err := os.WriteFile(path, []byte("earlier\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-family", "campus", "-n", "1", "-budget", "0s", "-repro", path}, io.Discard, io.Discard, tickingNow())
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "earlier\n" {
+		t.Fatalf("repro file clobbered: %q", got)
+	}
+}

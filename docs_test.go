@@ -76,6 +76,56 @@ func TestCheckDocsCatalogCrossCheck(t *testing.T) {
 	}
 }
 
+// TestCheckDocsTagCrossCheck is the negative test for the tag layer of
+// the catalog gate: a registry entry with no tags must fail the docs
+// check, and a catalog row whose tags column disagrees with the
+// registered tags must fail naming both sides. The registry side is
+// fed through the LISTCMD= override (a canned listing file) so the
+// tagless case can be exercised without doctoring the real registry.
+func TestCheckDocsTagCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go toolchain; skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	// A tagless registry entry is a docs failure even when the id
+	// itself is catalogued. The canned listing keeps table1's real tags
+	// (its catalog row must still cross-check) and strips figure10's.
+	listing := filepath.Join(dir, "listing.txt")
+	canned := "table1\tMerits\t@paper @des @cost\nfigure10\tStorm\t\n"
+	if err := os.WriteFile(listing, []byte(canned), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCheckDocs(t, "LISTCMD=cat "+listing)
+	if err == nil {
+		t.Fatalf("tagless figure10 accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "figure10") || !strings.Contains(out, "without any tags") {
+		t.Fatalf("tagless failure does not name the entry:\n%s", out)
+	}
+
+	// A catalog/registry tag mismatch fails and reports both tag sets.
+	listing2 := filepath.Join(dir, "listing2.txt")
+	canned2 := "table1\tMerits\t@paper @des @security\n"
+	if err := os.WriteFile(listing2, []byte(canned2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCheckDocs(t, "LISTCMD=cat "+listing2)
+	if err == nil {
+		t.Fatalf("mismatched table1 tags accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "tags for table1") ||
+		!strings.Contains(out, "@paper @des @security") ||
+		!strings.Contains(out, "@paper @des @cost") {
+		t.Fatalf("tag-mismatch failure does not show both sides:\n%s", out)
+	}
+
+	// The committed registry and catalog must agree (the real listing).
+	if out, err := runCheckDocs(t); err != nil {
+		t.Fatalf("check-docs fails on the committed tag layer: %v\n%s", err, out)
+	}
+}
+
 // TestCheckDocsAnalyzerCrossCheck is the negative test for the
 // determinism-analyzer gate: scripts/check-docs.sh must pass on the
 // committed ARCHITECTURE.md, fail when a registered analyzer's row is

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -44,6 +45,49 @@ func TestRegistryCoversDesignIndex(t *testing.T) {
 	}
 	if _, err := Find("nope"); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestRegistryTags: every experiment carries at least one well-formed
+// tag, exactly one provenance tag (@paper/@extension/@mooc), and the
+// tag helpers behave (KnownTags sorted-unique, HasTag @-optional).
+func TestRegistryTags(t *testing.T) {
+	provenance := map[string]bool{"@paper": true, "@extension": true, "@mooc": true}
+	for _, e := range All() {
+		if len(e.Tags) == 0 {
+			t.Errorf("%s: no tags", e.ID)
+		}
+		prov := 0
+		for _, tag := range e.Tags {
+			if !strings.HasPrefix(tag, "@") || strings.ContainsAny(tag[1:], "@ \t") || len(tag) < 2 {
+				t.Errorf("%s: malformed tag %q", e.ID, tag)
+			}
+			if provenance[tag] {
+				prov++
+			}
+		}
+		if prov != 1 {
+			t.Errorf("%s: %d provenance tags in %v, want exactly one of @paper/@extension/@mooc",
+				e.ID, prov, e.Tags)
+		}
+	}
+
+	known := KnownTags()
+	if !sort.StringsAreSorted(known) {
+		t.Errorf("KnownTags not sorted: %v", known)
+	}
+	for i := 1; i < len(known); i++ {
+		if known[i] == known[i-1] {
+			t.Errorf("KnownTags has duplicate %q", known[i])
+		}
+	}
+
+	e, _ := Find("table9")
+	if !e.HasTag("@mooc") || !e.HasTag("mooc") {
+		t.Error("HasTag must accept the tag with and without the leading @")
+	}
+	if e.HasTag("paper") {
+		t.Error("table9 is not a @paper experiment")
 	}
 }
 

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"elearncloud/internal/metrics"
 	"elearncloud/internal/scenario"
@@ -14,6 +16,11 @@ type Experiment struct {
 	ID string
 	// Title is a human-readable one-liner.
 	Title string
+	// Tags classify the experiment for `elbench -list -tag` filtering
+	// and the docs/SCENARIOS.md catalog ("@paper", "@mooc", "@storm",
+	// ...). Every experiment must carry at least one; check-docs.sh
+	// fails the build on a tagless entry.
+	Tags []string
 	// Run regenerates the artifact. pool is the shared worker pool its
 	// independent scenario jobs fan out on — typically the suite-wide
 	// pool cmd/elbench threads through every experiment, so a core
@@ -25,33 +32,67 @@ type Experiment struct {
 	Run func(seed uint64, pool *scenario.Pool) (*metrics.Table, error)
 }
 
+// tags splits a space-separated tag literal, keeping the registry
+// entries on one line each.
+func tags(s string) []string { return strings.Fields(s) }
+
 // All returns every experiment in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Merits of cloud e-learning vs desktop (§III)", Table1Merits},
-		{"table2", "Risks by deployment model (§III)", Table2Risks},
-		{"table3", "Deployment comparison matrix (§IV-§V)", Table3Matrix},
-		{"table4", "Hybrid unit-distribution ablation (§IV.C)", Table4HybridAblation},
-		{"table5", "Autoscaler ablation (exam crowd)", Table5Autoscalers},
-		{"table6", "Advisor recommendations per profile (§II)", Table6Advisor},
-		{"figure1", "Workload shape: diurnal and semester", Figure1Workload},
-		{"figure2", "P95 latency through an exam crowd", Figure2ExamSpike},
-		{"figure3", "TCO per student vs institution size", Figure3CostCrossover},
-		{"figure4", "Private utilization vs elastic fleet", Figure4Utilization},
-		{"figure5", "Lost work vs last-mile reliability", Figure5NetworkRisk},
-		{"figure6", "Security incidents over 10 years", Figure6Security},
-		{"figure7", "Migration cost vs lock-in index", Figure7Lockin},
+		{"table1", "Merits of cloud e-learning vs desktop (§III)", tags("@paper @des @cost"), Table1Merits},
+		{"table2", "Risks by deployment model (§III)", tags("@paper @des @network @security"), Table2Risks},
+		{"table3", "Deployment comparison matrix (§IV-§V)", tags("@paper @des @fluid @cost"), Table3Matrix},
+		{"table4", "Hybrid unit-distribution ablation (§IV.C)", tags("@paper @des @security"), Table4HybridAblation},
+		{"table5", "Autoscaler ablation (exam crowd)", tags("@paper @des @crowd @scaling"), Table5Autoscalers},
+		{"table6", "Advisor recommendations per profile (§II)", tags("@paper @analytic"), Table6Advisor},
+		{"figure1", "Workload shape: diurnal and semester", tags("@paper @analytic"), Figure1Workload},
+		{"figure2", "P95 latency through an exam crowd", tags("@paper @des @crowd @scaling"), Figure2ExamSpike},
+		{"figure3", "TCO per student vs institution size", tags("@paper @fluid @cost"), Figure3CostCrossover},
+		{"figure4", "Private utilization vs elastic fleet", tags("@paper @fluid @scaling"), Figure4Utilization},
+		{"figure5", "Lost work vs last-mile reliability", tags("@paper @des @network @chaos"), Figure5NetworkRisk},
+		{"figure6", "Security incidents over 10 years", tags("@paper @security @chaos"), Figure6Security},
+		{"figure7", "Migration cost vs lock-in index", tags("@paper @analytic @cost"), Figure7Lockin},
 		// Extension experiments ("future work the paper gestures at";
 		// see ARCHITECTURE.md).
-		{"table7", "National shared private cloud (§IV.C/§V)", Table7Federation},
-		{"table8", "Reserved vs on-demand purchase mix", Table8PurchaseMix},
-		{"figure8", "CDN ablation on the cost crossover", Figure8CDN},
-		{"figure9", "Physical damage to the on-premise unit", Figure9HostFailure},
+		{"table7", "National shared private cloud (§IV.C/§V)", tags("@extension @analytic @cost"), Table7Federation},
+		{"table8", "Reserved vs on-demand purchase mix", tags("@extension @fluid @cost"), Table8PurchaseMix},
+		{"figure8", "CDN ablation on the cost crossover", tags("@extension @fluid @cdn @cost"), Figure8CDN},
+		{"figure9", "Physical damage to the on-premise unit", tags("@extension @des @chaos"), Figure9HostFailure},
 		// MOOC-scale experiments (enrollment growth, deadline storms;
 		// see internal/workload's MOOC family and docs/SCENARIOS.md).
-		{"table9", "Deployment models under enrollment growth", Table9GrowthModels},
-		{"figure10", "P95 latency through a deadline storm", Figure10DeadlineStorm},
+		{"table9", "Deployment models under enrollment growth", tags("@mooc @growth @fluid @des @scaling @cost"), Table9GrowthModels},
+		{"figure10", "P95 latency through a deadline storm", tags("@mooc @storm @des @scaling"), Figure10DeadlineStorm},
 	}
+}
+
+// KnownTags returns the union of every registered tag, sorted.
+func KnownTags() []string {
+	set := map[string]bool{}
+	for _, e := range All() {
+		for _, t := range e.Tags {
+			set[t] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTag reports whether the experiment carries tag (with or without
+// the leading @).
+func (e Experiment) HasTag(tag string) bool {
+	if !strings.HasPrefix(tag, "@") {
+		tag = "@" + tag
+	}
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
 }
 
 // Find returns the experiment with the given ID.

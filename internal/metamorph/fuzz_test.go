@@ -1,0 +1,36 @@
+package metamorph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzInvariants is the native fuzz entry: any (family index, case
+// seed) pair must generate a valid config that passes the Lite
+// (generator-level) invariant suite. `go test` runs the corpus seeds
+// below on every tier-1 pass; `go test -fuzz=FuzzInvariants
+// ./internal/metamorph` explores further. Request-level invariants stay
+// in cmd/elfuzz, where the budget is explicit.
+func FuzzInvariants(f *testing.F) {
+	// One corpus seed per family, plus the elfuzz seed-1 case 0 of each
+	// so the nightly lane's first cases are pinned into tier-1.
+	for idx, fam := range Families() {
+		f.Add(uint8(idx), uint64(1))
+		f.Add(uint8(idx), CaseSeed(1, fam.Name, 0))
+	}
+
+	fams := Families()
+	f.Fuzz(func(t *testing.T, familyIdx uint8, caseSeed uint64) {
+		fam := fams[int(familyIdx)%len(fams)]
+		c := fam.Case(caseSeed)
+		rep := CheckCase(c, Options{Lite: true})
+		for _, cr := range rep.Results {
+			if cr.V != nil {
+				t.Errorf("%s seed=%#x %s: %s\nconfig:\n%s\nrepro: %s",
+					fam.Name, caseSeed, cr.Name, cr.V.Detail,
+					strings.Join(DescribeConfig(c.Cfg), "\n"),
+					ReproCommand(fam.Name, caseSeed))
+			}
+		}
+	})
+}

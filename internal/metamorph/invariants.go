@@ -1,0 +1,543 @@
+package metamorph
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/lms"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/sim"
+	"elearncloud/internal/workload"
+)
+
+// Violation is one metamorphic property failure.
+type Violation struct {
+	// Invariant names the property that failed.
+	Invariant string
+	// Detail explains the failing relation with the observed numbers.
+	Detail string
+}
+
+// CheckResult is one invariant's outcome on one case.
+type CheckResult struct {
+	// Name is the invariant's name.
+	Name string
+	// Skipped, when non-empty, says why the invariant did not apply to
+	// this case (e.g. the config is too large for request-level runs).
+	Skipped string
+	// V is the violation, nil when the property held or was skipped.
+	V *Violation
+}
+
+// Report is a full case verdict: the case plus each invariant's result.
+type Report struct {
+	Case
+	Results []CheckResult
+}
+
+// Violations returns the subset of results that actually failed.
+func (r Report) Violations() []CheckResult {
+	var out []CheckResult
+	for _, cr := range r.Results {
+		if cr.V != nil {
+			out = append(out, cr)
+		}
+	}
+	return out
+}
+
+// Options tunes a CheckCase pass.
+type Options struct {
+	// Lite restricts the suite to the generator-level invariants (no
+	// scenario.Run calls) — the budget the native fuzz target uses.
+	Lite bool
+}
+
+// Invariant is one metamorphic property. Check returns (violation,
+// skipReason): a nil violation with an empty skip means the property
+// held; a non-empty skip means it did not apply.
+type Invariant struct {
+	// Name identifies the property in reports and repro lines.
+	Name string
+	// Lite marks generator-level checks cheap enough for fuzzing.
+	Lite bool
+	// Check evaluates the property on a generated config. caseSeed
+	// roots any extra randomness the check itself needs, so the whole
+	// verdict stays a pure function of (family, case seed).
+	Check func(cfg scenario.Config, caseSeed uint64) (*Violation, string)
+}
+
+// Invariants returns the metamorphic property suite in a fixed order.
+func Invariants() []Invariant {
+	return []Invariant{
+		{Name: "growth-monotone", Lite: true, Check: checkGrowthMonotone},
+		{Name: "envelope-bound", Lite: true, Check: checkEnvelopeBound},
+		{Name: "superpose-bound", Lite: true, Check: checkSuperposeBound},
+		{Name: "parallel-determinism", Check: checkParallelDeterminism},
+		{Name: "capacity-monotone", Check: checkCapacityMonotone},
+		{Name: "cross-fidelity", Check: checkCrossFidelity},
+	}
+}
+
+// FindInvariant returns the named invariant.
+func FindInvariant(name string) (Invariant, error) {
+	for _, inv := range Invariants() {
+		if inv.Name == name {
+			return inv, nil
+		}
+	}
+	return Invariant{}, fmt.Errorf("metamorph: unknown invariant %q", name)
+}
+
+// CheckCase runs the invariant suite over one generated case.
+func CheckCase(c Case, opt Options) Report {
+	rep := Report{Case: c}
+	for _, inv := range Invariants() {
+		if opt.Lite && !inv.Lite {
+			continue
+		}
+		v, skip := inv.Check(c.Cfg, c.Seed)
+		rep.Results = append(rep.Results, CheckResult{Name: inv.Name, Skipped: skip, V: v})
+	}
+	return rep
+}
+
+// workloadConfig projects the scenario's load shape into a standalone
+// workload.Config, the same projection the runner makes internally.
+func workloadConfig(cfg scenario.Config) workload.Config {
+	students := cfg.Students
+	if cfg.Growth != nil && students == 0 {
+		students = int(math.Ceil(cfg.Growth.Max()))
+	}
+	req := cfg.ReqPerStudentHour
+	if req == 0 {
+		req = 50
+	}
+	return workload.Config{
+		Students:          students,
+		Growth:            cfg.Growth,
+		ReqPerStudentHour: req,
+		Diurnal:           cfg.Diurnal,
+		Calendar:          cfg.Calendar,
+		Crowds:            cfg.Crowds,
+		Storms:            cfg.Storms,
+		Joins:             cfg.Joins,
+	}
+}
+
+// desFeasible bounds the configs the request-level invariants run:
+// expected arrivals must fit an interactive fuzz budget.
+func desFeasible(cfg scenario.Config) bool {
+	if horizonOf(cfg) > 8*time.Hour {
+		return false
+	}
+	pop := float64(cfg.Students)
+	if cfg.Growth != nil {
+		pop = cfg.Growth.Max()
+	}
+	req := cfg.ReqPerStudentHour
+	if req == 0 {
+		req = 50
+	}
+	return pop*req*horizonOf(cfg).Hours() <= 1.5e6
+}
+
+// --- generator-level (Lite) invariants --------------------------------
+
+// checkGrowthMonotone: an enrollment curve never shrinks and never
+// exceeds its own declared capacity — the monotonicity the piecewise
+// envelope derivation depends on.
+func checkGrowthMonotone(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if cfg.Growth == nil {
+		return nil, "no growth curve"
+	}
+	h := horizonOf(cfg)
+	max := cfg.Growth.Max()
+	prev := cfg.Growth.At(0)
+	for step := 0; step <= 400; step++ {
+		t := h * time.Duration(step) / 400
+		v := cfg.Growth.At(t)
+		if v < prev-1e-9 {
+			return &Violation{"growth-monotone",
+				fmt.Sprintf("Growth.At(%v)=%.4f < At(prev)=%.4f", t, v, prev)}, ""
+		}
+		if v > max*(1+1e-9) {
+			return &Violation{"growth-monotone",
+				fmt.Sprintf("Growth.At(%v)=%.4f exceeds Max()=%.4f", t, v, max)}, ""
+		}
+		prev = v
+	}
+	return nil, ""
+}
+
+// checkEnvelopeBound: the instantaneous rate never exceeds the global
+// MaxRate bound or the piecewise Envelope segment bound, and the
+// thinning sampler never emits arrivals past the horizon. This is the
+// contract that makes NHPP thinning statistically exact: a rate above
+// its own envelope silently under-samples the peak.
+func checkEnvelopeBound(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
+	gen, err := workload.NewGenerator(workloadConfig(cfg))
+	if err != nil {
+		return &Violation{"envelope-bound", "generator rejected config: " + err.Error()}, ""
+	}
+	h := horizonOf(cfg)
+	maxRate := gen.MaxRate()
+
+	// Grid pass: Rate ≤ MaxRate everywhere.
+	for step := 0; step <= 600; step++ {
+		t := h * time.Duration(step) / 600
+		if r := gen.Rate(t); r > maxRate*(1+1e-9) {
+			return &Violation{"envelope-bound",
+				fmt.Sprintf("Rate(%v)=%.3f exceeds MaxRate()=%.3f", t, r, maxRate)}, ""
+		}
+	}
+
+	// Segment walk: inside each envelope segment, the rate sampled at
+	// several offsets must stay under that segment's bound.
+	env := gen.Envelope()
+	for t := time.Duration(0); t < h; {
+		bound, until := env(t)
+		if until <= t {
+			return &Violation{"envelope-bound",
+				fmt.Sprintf("envelope segment at %v does not advance (until=%v)", t, until)}, ""
+		}
+		if until > h {
+			until = h
+		}
+		seg := until - t
+		for _, frac := range []time.Duration{0, seg / 3, 2 * seg / 3, seg - 1} {
+			if frac < 0 {
+				continue
+			}
+			if r := gen.Rate(t + frac); r > bound*(1+1e-9) {
+				return &Violation{"envelope-bound",
+					fmt.Sprintf("Rate(%v)=%.3f exceeds envelope bound %.3f on [%v,%v)",
+						t+frac, r, bound, t, until)}, ""
+			}
+		}
+		t = until
+	}
+
+	// Sampling pass: generated arrivals are ordered, in-horizon, and
+	// their count is plausible under the rate integral. Cap the horizon
+	// so a full-scale MOOC case stays within the fuzz budget.
+	sampleH := h
+	if maxRate > 0 {
+		if budget := time.Duration(2e5 / maxRate * float64(time.Second)); budget < sampleH {
+			sampleH = budget
+		}
+	}
+	rng := sim.NewRNG(sim.SeedFor(caseSeed, "metamorph/envelope"))
+	var bad *Violation
+	prevAt := time.Duration(-1)
+	n := gen.Generate(rng, 0, sampleH, func(a workload.Arrival) {
+		if bad != nil {
+			return
+		}
+		if a.At < 0 || a.At >= sampleH {
+			bad = &Violation{"envelope-bound",
+				fmt.Sprintf("arrival at %v outside horizon [0,%v)", a.At, sampleH)}
+		}
+		if a.At < prevAt {
+			bad = &Violation{"envelope-bound",
+				fmt.Sprintf("arrival at %v precedes previous at %v", a.At, prevAt)}
+		}
+		prevAt = a.At
+	})
+	if bad != nil {
+		return bad, ""
+	}
+	// The count is Poisson with mean ∫rate ≤ MaxRate·horizon, so allow
+	// a 6-sigma one-sided tail (~1e-9) above the bound — a systematic
+	// envelope breach overshoots far beyond that.
+	mean := maxRate * sampleH.Seconds()
+	if float64(n) > mean+6*math.Sqrt(mean)+10 {
+		return &Violation{"envelope-bound",
+			fmt.Sprintf("%d arrivals exceed the MaxRate·horizon bound %.1f beyond Poisson noise",
+				n, mean)}, ""
+	}
+	return nil, ""
+}
+
+// checkSuperposeBound: a timezone superposition is a weighted mean, so
+// at every instant it must lie within [min component, max component] of
+// its waves' local values, and its peak can never exceed the largest
+// component peak. Fresh random waves are drawn per case so the property
+// is fuzzed beyond the configs the families happen to generate.
+func checkSuperposeBound(_ scenario.Config, caseSeed uint64) (*Violation, string) {
+	r := sim.NewRNG(sim.SeedFor(caseSeed, "metamorph/superpose"))
+	waves := make([]workload.TimezoneWave, 2+r.Intn(3))
+	for i := range waves {
+		waves[i] = workload.TimezoneWave{
+			Shift:  time.Duration(r.Intn(48)-24) * 30 * time.Minute,
+			Weight: 0.25 + r.Float64(),
+		}
+	}
+	blend := workload.SuperposeTimezones(waves)
+
+	local := workload.CampusDiurnal()
+	maxPeak := local.Peak()
+	if p := blend.Peak(); p > maxPeak*(1+1e-9) {
+		return &Violation{"superpose-bound",
+			fmt.Sprintf("superposition peak %.4f exceeds max component peak %.4f", p, maxPeak)}, ""
+	}
+	for step := 0; step < 24*12; step++ {
+		t := time.Duration(step) * 5 * time.Minute
+		// The blend is tabulated at whole hours and interpolated, so
+		// blend.At(t) is a convex combination of component values at
+		// the two surrounding hour anchors — bound against exactly
+		// those.
+		tA := t.Truncate(time.Hour)
+		tB := tA + time.Hour
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, w := range waves {
+			for _, anchor := range []time.Duration{tA, tB} {
+				v := local.At(anchor + w.Shift)
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+		}
+		got := blend.At(t)
+		if got < lo-1e-9 || got > hi+1e-9 {
+			return &Violation{"superpose-bound",
+				fmt.Sprintf("blend.At(%v)=%.4f outside component anchor range [%.4f,%.4f]", t, got, lo, hi)}, ""
+		}
+	}
+	return nil, ""
+}
+
+// --- request-level invariants -----------------------------------------
+
+// checkParallelDeterminism: the same config run directly, and run as a
+// batch job on a 4-worker shared pool racing filler jobs, must produce
+// byte-identical results — the repo's central determinism contract,
+// here enforced on configs nobody hand-wrote.
+func checkParallelDeterminism(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	direct, err := scenario.Run(cfg)
+	if err != nil {
+		return &Violation{"parallel-determinism", "direct run failed: " + err.Error()}, ""
+	}
+
+	// Filler jobs create real pool contention so worker hand-offs and
+	// completion-order effects would surface if any existed.
+	filler := scenario.Config{
+		Kind: deploy.Public, Students: 60, Duration: 30 * time.Minute,
+		Diurnal: workload.FlatDiurnal(),
+	}
+	batch := scenario.NewBatch(sim.SeedFor(caseSeed, "metamorph/batch")).
+		Add("case", cfg).
+		Add("filler-a", filler).
+		Add("filler-b", filler)
+	res, err := batch.RunOn(scenario.NewPool(4))
+	if err != nil {
+		return &Violation{"parallel-determinism", "pooled run failed: " + err.Error()}, ""
+	}
+	got, want := Fingerprint(res.Result("case")), Fingerprint(direct)
+	if got != want {
+		return &Violation{"parallel-determinism",
+			"pooled result differs from direct run:\n" + diffLine(want, got)}, ""
+	}
+	return nil, ""
+}
+
+// diffLine returns the first line where two fingerprints diverge.
+func diffLine(a, b string) string {
+	al, bl := splitLines(a), splitLines(b)
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("direct: %s\npooled: %s", al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("fingerprint lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}
+
+// checkCapacityMonotone: raising the elastic fleet cap from "tight"
+// (a third of the peak-sized need) to "roomy" (four times it) must not
+// make P95 latency meaningfully worse. More capacity never hurts. The
+// comparison carries a small tolerance because the two runs consume
+// their service/transfer streams in different completion orders, which
+// legitimately moves the quantile by a few percent.
+func checkCapacityMonotone(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if cfg.Kind != deploy.Public && cfg.Kind != deploy.Hybrid {
+		return nil, "no elastic side to cap"
+	}
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	gen, err := workload.NewGenerator(workloadConfig(cfg))
+	if err != nil {
+		return &Violation{"capacity-monotone", "generator rejected config: " + err.Error()}, ""
+	}
+	util := cfg.TargetUtil
+	if util == 0 {
+		util = 0.6
+	}
+	need := deploy.ServersForPeak(gen.MaxRate(),
+		lms.TeachingMix().MeanService(lms.DefaultCatalog()), util)
+
+	tight := cfg
+	tight.MaxPublicServers = max(2, need/3)
+	roomy := cfg
+	roomy.MaxPublicServers = max(tight.MaxPublicServers+1, need*4)
+
+	rTight, err := scenario.Run(tight)
+	if err != nil {
+		return &Violation{"capacity-monotone", "tight run failed: " + err.Error()}, ""
+	}
+	rRoomy, err := scenario.Run(roomy)
+	if err != nil {
+		return &Violation{"capacity-monotone", "roomy run failed: " + err.Error()}, ""
+	}
+
+	pTight, pRoomy := rTight.Latency.P95(), rRoomy.Latency.P95()
+	if pRoomy > pTight*1.15+0.05 {
+		return &Violation{"capacity-monotone",
+			fmt.Sprintf("P95 rose from %.3fs (cap %d) to %.3fs (cap %d): more capacity made latency worse",
+				pTight, tight.MaxPublicServers, pRoomy, roomy.MaxPublicServers)}, ""
+	}
+	// The roomy fleet must also never reject more than the tight one:
+	// rejections are a pure function of saturation.
+	if rRoomy.Rejected > rTight.Rejected {
+		return &Violation{"capacity-monotone",
+			fmt.Sprintf("rejections rose from %d (cap %d) to %d (cap %d)",
+				rTight.Rejected, tight.MaxPublicServers, rRoomy.Rejected, roomy.MaxPublicServers)}, ""
+	}
+	return nil, ""
+}
+
+// checkCrossFidelity: on regimes both fidelities model — steady mixes,
+// no outages, horizons long enough for the fluid 5-minute step — the
+// request-level and flow-level runs must agree within tolerance on
+// egress volume and compute consumption, and exactly on the capex-side
+// facts (host count). The brackets mirror crossfidelity_test.go's
+// hand-picked cases, so a fuzzed divergence means a real regime gap.
+func checkCrossFidelity(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if cfg.Kind == deploy.Desktop {
+		return nil, "desktop has no fleet to cross-check"
+	}
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	if horizonOf(cfg) < 3*time.Hour {
+		return nil, "horizon too short for the fluid integration step"
+	}
+	if cfg.HostFailureAt > 0 {
+		return nil, "fluid model does not inject host failures"
+	}
+	for _, c := range cfg.Crowds {
+		if c.ExamTraffic {
+			return nil, "fluid model holds the teaching mix through exam windows"
+		}
+	}
+	for _, s := range cfg.Storms {
+		if s.ExamTraffic {
+			return nil, "fluid model holds the teaching mix through exam windows"
+		}
+	}
+	for _, j := range cfg.Joins {
+		if j.ExamTraffic {
+			return nil, "fluid model holds the teaching mix through exam windows"
+		}
+	}
+
+	des, err := scenario.Run(cfg)
+	if err != nil {
+		return &Violation{"cross-fidelity", "request-level run failed: " + err.Error()}, ""
+	}
+	fluid, err := scenario.FluidRun(cfg)
+	if err != nil {
+		return &Violation{"cross-fidelity", "fluid run failed: " + err.Error()}, ""
+	}
+
+	if des.PrivateHosts != fluid.PrivateHosts {
+		return &Violation{"cross-fidelity",
+			fmt.Sprintf("private hosts differ: DES %d vs fluid %d", des.PrivateHosts, fluid.PrivateHosts)}, ""
+	}
+	if math.Abs(des.Cost.Capex-fluid.Cost.Capex) > 1e-6 {
+		return &Violation{"cross-fidelity",
+			fmt.Sprintf("capex differs: DES %.4f vs fluid %.4f", des.Cost.Capex, fluid.Cost.Capex)}, ""
+	}
+	// With the CDN on, the fluid model prices misses at the steady-state
+	// analytic Zipf hit ratio while the request-level LRU starts cold —
+	// on short horizons the realized hit ratio sits below steady state
+	// and DES egress legitimately runs high (seed 0xe7d7a42389866a63
+	// minimizes to a 56-student hybrid+CDN case at ratio 1.34), so the
+	// egress-volume clause only applies to CDN-off configs. It also
+	// needs the last mile up: the fluid model has no network-failure
+	// process, while the request-level runner counts every arrival
+	// during an access outage as Offline and serves it zero bytes —
+	// on a flaky link the DES legitimately delivers less (seed
+	// 0x743912ad8faad72c minimizes to a 54-student rural-DSL hybrid at
+	// ratio 0.65), so the clause only applies when the offline share of
+	// arrivals is negligible.
+	offlineShare := 0.0
+	if total := float64(des.Served + des.Offline); total > 0 {
+		offlineShare = float64(des.Offline) / total
+	}
+	if !cfg.EnableCDN && fluid.EgressGB > 0.02 && offlineShare <= 0.01 {
+		ratio := des.EgressGB / fluid.EgressGB
+		if ratio < 0.75 || ratio > 1.30 {
+			return &Violation{"cross-fidelity",
+				fmt.Sprintf("egress ratio DES/fluid = %.3f (DES %.3f GB, fluid %.3f GB) outside [0.75,1.30]",
+					ratio, des.EgressGB, fluid.EgressGB)}, ""
+		}
+	}
+	// The VM-hours clause needs a spikiness gate: the fluid fleet is
+	// memoryless (it sheds servers the instant the 5-minute-step rate
+	// drops) while the request-level reactive scaler holds capacity
+	// through and after a spike, so on stacked storm peaks the DES/fluid
+	// ratio grows without bound — seed 0x28f0f41a83af80e7 (storm)
+	// minimizes to a 215-student double-storm ratio of 20x, and seeds
+	// 0xd0ada100cde3ab03, 0xfb3abd4466c9728c show the same shape. The
+	// clause therefore only applies when peak rate is within 6x of the
+	// mean, where scale-down lag amortizes — and when the fluid public
+	// fleet is at least 5 VM-hours, because below that the DES's
+	// whole-server quantization dominates (a hybrid whose private side
+	// absorbs the base load runs its public side as pure spike: seed
+	// 0xfb3abd4466c9728c has fluid 0.58 VM-hours vs DES 8).
+	// The same outage caveat applies: a dead last mile starves the
+	// reactive scaler of load the fluid model still integrates.
+	if gen, err := workload.NewGenerator(workloadConfig(cfg)); err == nil &&
+		(cfg.Kind == deploy.Public || cfg.Kind == deploy.Hybrid) &&
+		cfg.Scaler != scenario.ScalerFixed && fluid.VMHoursPublic > 5 &&
+		offlineShare <= 0.01 &&
+		gen.MaxRate() <= 6*meanRate(gen, horizonOf(cfg)) {
+		ratio := des.VMHoursPublic / fluid.VMHoursPublic
+		if ratio < 0.95 || ratio > 8 {
+			return &Violation{"cross-fidelity",
+				fmt.Sprintf("public VM-hours ratio DES/fluid = %.3f (DES %.2f, fluid %.2f) outside [0.95,8]",
+					ratio, des.VMHoursPublic, fluid.VMHoursPublic)}, ""
+		}
+	}
+	return nil, ""
+}
+
+// meanRate samples the generator's average arrival rate over a horizon.
+func meanRate(gen *workload.Generator, h time.Duration) float64 {
+	const steps = 200
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += gen.Rate(h * time.Duration(i) / steps)
+	}
+	return sum / steps
+}

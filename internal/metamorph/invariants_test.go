@@ -1,0 +1,215 @@
+package metamorph
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/workload"
+)
+
+// TestInvariantsRegistry: the suite has stable names, FindInvariant
+// round-trips, and the Lite subset is exactly the generator-level
+// checks the fuzz target runs.
+func TestInvariantsRegistry(t *testing.T) {
+	want := []string{
+		"growth-monotone", "envelope-bound", "superpose-bound",
+		"parallel-determinism", "capacity-monotone", "cross-fidelity",
+	}
+	invs := Invariants()
+	if len(invs) != len(want) {
+		t.Fatalf("Invariants() = %d entries, want %d", len(invs), len(want))
+	}
+	lite := 0
+	for i, inv := range invs {
+		if inv.Name != want[i] {
+			t.Errorf("invariant %d = %s, want %s", i, inv.Name, want[i])
+		}
+		if inv.Lite {
+			lite++
+		}
+		got, err := FindInvariant(inv.Name)
+		if err != nil || got.Name != inv.Name {
+			t.Errorf("FindInvariant(%s) = %v, %v", inv.Name, got.Name, err)
+		}
+	}
+	if lite != 3 {
+		t.Errorf("Lite invariants = %d, want 3 (the generator-level checks)", lite)
+	}
+	if _, err := FindInvariant("nope"); err == nil {
+		t.Error("FindInvariant(nope) did not error")
+	}
+}
+
+// TestCheckCaseLite: Lite mode runs only generator-level invariants —
+// no scenario.Run — and a healthy generated case passes them all.
+func TestCheckCaseLite(t *testing.T) {
+	for _, f := range Families() {
+		c := f.Case(CaseSeed(3, f.Name, 0))
+		rep := CheckCase(c, Options{Lite: true})
+		if len(rep.Results) != 3 {
+			t.Fatalf("%s: Lite CheckCase ran %d checks, want 3", f.Name, len(rep.Results))
+		}
+		for _, cr := range rep.Results {
+			if cr.V != nil {
+				t.Errorf("%s %s: %s", f.Name, cr.Name, cr.V.Detail)
+			}
+		}
+	}
+}
+
+// TestGrowthMonotoneHolds: both growth constructors satisfy the
+// monotone invariant on a MOOC-shaped config.
+func TestGrowthMonotoneHolds(t *testing.T) {
+	for _, g := range []*workload.Growth{
+		workload.LinearGrowth(500, 4000, 2*time.Hour),
+		workload.LogisticGrowth(500, 4000, 90*time.Minute),
+	} {
+		cfg := scenario.Config{Growth: g, Duration: 4 * time.Hour}
+		if v, skip := checkGrowthMonotone(cfg, 1); skip != "" || v != nil {
+			t.Errorf("growth %v: violation %v skip %q", g, v, skip)
+		}
+	}
+	if _, skip := checkGrowthMonotone(scenario.Config{Students: 100}, 1); skip == "" {
+		t.Error("growth-monotone did not skip a growth-free config")
+	}
+}
+
+// TestEnvelopeBoundHolds: a storm-heavy config samples under its own
+// envelope.
+func TestEnvelopeBoundHolds(t *testing.T) {
+	cfg := scenario.Config{
+		Students:          400,
+		ReqPerStudentHour: 40,
+		Duration:          2 * time.Hour,
+		Storms: []workload.DeadlineStorm{
+			{Deadline: 90 * time.Minute, Ramp: time.Hour, PeakMult: 8},
+		},
+	}
+	if v, skip := checkEnvelopeBound(cfg, 5); skip != "" || v != nil {
+		t.Errorf("envelope-bound: violation %v skip %q", v, skip)
+	}
+}
+
+// TestSuperposeBoundHolds across a seed spread: the weighted-mean bound
+// is exact at hour anchors, whatever waves are drawn.
+func TestSuperposeBoundHolds(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		if v, skip := checkSuperposeBound(scenario.Config{}, seed); skip != "" || v != nil {
+			t.Errorf("seed %d: violation %v skip %q", seed, v, skip)
+		}
+	}
+}
+
+// TestParallelDeterminismHolds on one real generated case per family
+// (the full pooled comparison; the fuzz lane covers breadth).
+func TestParallelDeterminismHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs request-level scenarios")
+	}
+	c := FindFamilyOrDie(t, "campus").Case(CaseSeed(9, "campus", 1))
+	if v, skip := checkParallelDeterminism(c.Cfg, c.Seed); skip != "" || v != nil {
+		t.Errorf("parallel-determinism: violation %v skip %q", v, skip)
+	}
+}
+
+// FindFamilyOrDie is a test helper.
+func FindFamilyOrDie(t *testing.T, name string) Family {
+	t.Helper()
+	f, err := FindFamily(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestDesFeasible: the request-level budget excludes MOOC-scale and
+// week-long configs and admits campus-scale ones.
+func TestDesFeasible(t *testing.T) {
+	small := scenario.Config{Students: 500, ReqPerStudentHour: 40, Duration: 3 * time.Hour}
+	if !desFeasible(small) {
+		t.Error("campus-scale config rejected")
+	}
+	big := scenario.Config{Students: 80000, ReqPerStudentHour: 10, Duration: 6 * time.Hour}
+	if desFeasible(big) {
+		t.Error("MOOC-scale config admitted")
+	}
+	long := scenario.Config{Students: 100, ReqPerStudentHour: 10, Duration: 7 * 24 * time.Hour}
+	if desFeasible(long) {
+		t.Error("week-long config admitted")
+	}
+}
+
+// TestCrossFidelitySkips: the regimes the fluid model does not cover
+// are skipped with a stated reason, not silently passed.
+func TestCrossFidelitySkips(t *testing.T) {
+	base := scenario.Config{Students: 400, Duration: 4 * time.Hour}
+	for name, mutate := range map[string]func(*scenario.Config){
+		"desktop":      func(c *scenario.Config) { c.Kind = deploy.Desktop },
+		"short":        func(c *scenario.Config) { c.Duration = time.Hour },
+		"host-failure": func(c *scenario.Config) { c.HostFailureAt = time.Hour },
+		"exam-crowd": func(c *scenario.Config) {
+			c.Crowds = []workload.FlashCrowd{{Start: time.Hour, End: 2 * time.Hour, Mult: 3, ExamTraffic: true}}
+		},
+	} {
+		cfg := base
+		mutate(&cfg)
+		v, skip := checkCrossFidelity(cfg, 1)
+		if v != nil {
+			t.Errorf("%s: unexpected violation %v", name, v)
+		}
+		if skip == "" {
+			t.Errorf("%s: expected a skip reason", name)
+		}
+	}
+}
+
+// TestCrossFidelitySpikeRegression pins the seeds the first fuzz sweep
+// (run seed 2) minimized: small stacked-storm configs where the
+// memoryless fluid fleet undercounts the reactive scaler's held
+// capacity by 9-20x. The spikiness gate must classify them as
+// explained (no violation) without skipping the whole invariant's
+// capex/host clauses.
+func TestCrossFidelitySpikeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs request-level scenarios")
+	}
+	for fam, seed := range map[string]uint64{
+		"storm":  0x28f0f41a83af80e7, // 215-student double storm, ratio was 20.4x
+		"campus": 0xfb3abd4466c9728c, // 351-student hybrid crowd, ratio was 13.7x
+		// Run-seed-3 find: rural-DSL hybrid whose last-mile outages
+		// starve the DES of arrivals the fluid model still integrates
+		// (egress ratio was 0.65); the offline-share gate explains it.
+		"chaos": 0x743912ad8faad72c,
+	} {
+		c := FindFamilyOrDie(t, fam).Case(seed)
+		if v, _ := checkCrossFidelity(c.Cfg, c.Seed); v != nil {
+			t.Errorf("%s seed=%#x: %s", fam, seed, v.Detail)
+		}
+	}
+}
+
+// TestViolationsFilter: Report.Violations returns exactly the failed
+// checks.
+func TestViolationsFilter(t *testing.T) {
+	rep := Report{Results: []CheckResult{
+		{Name: "a"},
+		{Name: "b", V: &Violation{Invariant: "b", Detail: "boom"}},
+		{Name: "c", Skipped: "because"},
+	}}
+	got := rep.Violations()
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("Violations() = %+v, want just b", got)
+	}
+}
+
+// TestFingerprintDiffLine: the determinism violation message names the
+// first drifting field.
+func TestFingerprintDiffLine(t *testing.T) {
+	d := diffLine("a=1\nb=2\n", "a=1\nb=3\n")
+	if !strings.Contains(d, "b=2") || !strings.Contains(d, "b=3") {
+		t.Fatalf("diffLine = %q, want both b lines", d)
+	}
+}

@@ -1,0 +1,212 @@
+package metamorph
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"elearncloud/internal/network"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/workload"
+)
+
+// MinimizeResult is the shrink loop's outcome.
+type MinimizeResult struct {
+	// Cfg is the smallest still-failing config found.
+	Cfg scenario.Config
+	// Evals counts how many times the failing predicate ran.
+	Evals int
+	// Steps names the transformations that were accepted, in order.
+	Steps []string
+}
+
+// minTransform is one candidate shrink: apply returns the transformed
+// config and whether the transformation changed anything (an unchanged
+// config is not re-evaluated).
+type minTransform struct {
+	name  string
+	apply func(scenario.Config) (scenario.Config, bool)
+}
+
+// transforms is the fixed shrink order: cheapest-to-verify and
+// biggest-reduction first, cosmetic simplifications last. The loop
+// restarts from the top after every accepted shrink, so e.g. the
+// horizon keeps halving as long as the failure survives.
+func transforms() []minTransform {
+	out := []minTransform{
+		{"halve-duration", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Duration < time.Hour {
+				return c, false
+			}
+			c.Duration = (c.Duration / 2).Truncate(time.Minute)
+			clampWindows(&c)
+			return c, true
+		}},
+	}
+	// Storm/join/crowd drops are generated for a fixed index range so
+	// the transform list itself stays static; out-of-range indices
+	// report "unchanged" and cost nothing.
+	for i := 0; i < 4; i++ {
+		i := i
+		out = append(out, minTransform{fmt.Sprintf("drop-storm-%d", i),
+			func(c scenario.Config) (scenario.Config, bool) {
+				if i >= len(c.Storms) {
+					return c, false
+				}
+				c.Storms = append(append([]workload.DeadlineStorm{}, c.Storms[:i]...), c.Storms[i+1:]...)
+				return c, true
+			}})
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		out = append(out, minTransform{fmt.Sprintf("drop-join-%d", i),
+			func(c scenario.Config) (scenario.Config, bool) {
+				if i >= len(c.Joins) {
+					return c, false
+				}
+				c.Joins = append(append([]workload.JoinStorm{}, c.Joins[:i]...), c.Joins[i+1:]...)
+				return c, true
+			}})
+		out = append(out, minTransform{fmt.Sprintf("drop-crowd-%d", i),
+			func(c scenario.Config) (scenario.Config, bool) {
+				if i >= len(c.Crowds) {
+					return c, false
+				}
+				c.Crowds = append(append([]workload.FlashCrowd{}, c.Crowds[:i]...), c.Crowds[i+1:]...)
+				return c, true
+			}})
+	}
+	out = append(out,
+		minTransform{"drop-growth", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Growth == nil {
+				return c, false
+			}
+			if c.Students == 0 {
+				c.Students = int(math.Ceil(c.Growth.Max()))
+			}
+			c.Growth = nil
+			return c, true
+		}},
+		minTransform{"halve-students", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Growth != nil || c.Students < 100 {
+				return c, false
+			}
+			c.Students /= 2
+			return c, true
+		}},
+		minTransform{"flat-diurnal", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Diurnal == nil {
+				return c, false
+			}
+			c.Diurnal = nil
+			return c, true
+		}},
+		minTransform{"drop-calendar", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Calendar == nil {
+				return c, false
+			}
+			c.Calendar = nil
+			return c, true
+		}},
+		minTransform{"no-cdn", func(c scenario.Config) (scenario.Config, bool) {
+			if !c.EnableCDN {
+				return c, false
+			}
+			c.EnableCDN = false
+			return c, true
+		}},
+		minTransform{"no-threats", func(c scenario.Config) (scenario.Config, bool) {
+			if !c.EnableThreats {
+				return c, false
+			}
+			c.EnableThreats = false
+			return c, true
+		}},
+		minTransform{"no-host-failure", func(c scenario.Config) (scenario.Config, bool) {
+			if c.HostFailureAt == 0 {
+				return c, false
+			}
+			c.HostFailureAt, c.HostRecoveryAfter = 0, 0
+			return c, true
+		}},
+		minTransform{"default-access", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Access.Name == "" || c.Access.Name == network.UrbanBroadband.Name {
+				return c, false
+			}
+			c.Access = network.AccessProfile{}
+			return c, true
+		}},
+		minTransform{"reactive-scaler", func(c scenario.Config) (scenario.Config, bool) {
+			if c.Scaler == 0 || c.Scaler == scenario.ScalerReactive {
+				return c, false
+			}
+			c.Scaler = scenario.ScalerReactive
+			return c, true
+		}},
+	)
+	return out
+}
+
+// clampWindows drops load windows a shrunk horizon no longer contains
+// (a storm whose entire ramp is past the end exerts no load and would
+// only clutter the repro).
+func clampWindows(c *scenario.Config) {
+	h := horizonOf(*c)
+	var storms []workload.DeadlineStorm
+	for _, s := range c.Storms {
+		if s.Deadline-s.Ramp < h {
+			storms = append(storms, s)
+		}
+	}
+	c.Storms = storms
+	var joins []workload.JoinStorm
+	for _, j := range c.Joins {
+		if j.Start < h {
+			joins = append(joins, j)
+		}
+	}
+	c.Joins = joins
+	var crowds []workload.FlashCrowd
+	for _, cr := range c.Crowds {
+		if cr.Start < h {
+			crowds = append(crowds, cr)
+		}
+	}
+	c.Crowds = crowds
+}
+
+// Minimize greedily shrinks cfg while failing keeps returning true,
+// restarting the transform list after every accepted step, and returns
+// the smallest still-failing config. The loop is fully deterministic:
+// fixed transform order, no randomness, so the same (config, predicate)
+// always minimizes to the same repro. maxEvals bounds predicate runs
+// (<= 0 means 80); on exhaustion the best config so far is returned.
+func Minimize(cfg scenario.Config, failing func(scenario.Config) bool, maxEvals int) MinimizeResult {
+	if maxEvals <= 0 {
+		maxEvals = 80
+	}
+	res := MinimizeResult{Cfg: cfg}
+	ts := transforms()
+	for {
+		shrunk := false
+		for _, tr := range ts {
+			cand, changed := tr.apply(res.Cfg)
+			if !changed {
+				continue
+			}
+			if res.Evals >= maxEvals {
+				return res
+			}
+			res.Evals++
+			if failing(cand) {
+				res.Cfg = cand
+				res.Steps = append(res.Steps, tr.name)
+				shrunk = true
+				break // restart from the top on the smaller config
+			}
+		}
+		if !shrunk {
+			return res
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package metamorph
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"elearncloud/internal/deploy"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/workload"
+)
+
+// plantedCase builds the documented planted-bug config: a storm-laden,
+// crowd-laden public scenario whose "violation" is simulated by the
+// predicate below, so the shrink loop can be tested deterministically
+// without a real simulator bug to chase.
+func plantedCase() scenario.Config {
+	return scenario.Config{
+		Seed:              0xfeed,
+		Kind:              deploy.Public,
+		Students:          1600,
+		ReqPerStudentHour: 40,
+		Duration:          8 * time.Hour,
+		Diurnal:           workload.CampusDiurnal(),
+		Scaler:            scenario.ScalerPredictive,
+		EnableThreats:     true,
+		EnableCDN:         true,
+		Storms: []workload.DeadlineStorm{
+			{Deadline: 2 * time.Hour, Ramp: time.Hour, PeakMult: 5},
+			{Deadline: 5 * time.Hour, Ramp: 90 * time.Minute, PeakMult: 7},
+			{Deadline: 7 * time.Hour, Ramp: time.Hour, PeakMult: 4},
+		},
+		Joins: []workload.JoinStorm{
+			{Start: 3 * time.Hour, Window: 30 * time.Minute, PeakMult: 6},
+		},
+		Crowds: []workload.FlashCrowd{
+			{Start: time.Hour, End: 90 * time.Minute, Mult: 3},
+		},
+	}
+}
+
+// plantedFailing simulates a capacity-monotonicity bug that needs at
+// least 400 students and at least one deadline storm to trigger — the
+// documented planted bug of the acceptance criteria. Everything else
+// (joins, crowds, CDN, threats, the diurnal shape, the scaler, most of
+// the horizon) is noise the minimizer must strip.
+func plantedFailing(c scenario.Config) bool {
+	return c.Students >= 400 && len(c.Storms) >= 1
+}
+
+// TestMinimizePlantedBug: the shrink loop reduces the planted case to
+// <= 1 storm window and a stated student count, deterministically, and
+// the repro describes in <= 5 lines.
+func TestMinimizePlantedBug(t *testing.T) {
+	res := Minimize(plantedCase(), plantedFailing, 0)
+
+	if !plantedFailing(res.Cfg) {
+		t.Fatal("minimized config no longer fails the predicate")
+	}
+	if len(res.Cfg.Storms) > 1 {
+		t.Errorf("minimized config keeps %d storms, want <= 1", len(res.Cfg.Storms))
+	}
+	// 1600 halves to 800, then 400; halving again (200) passes the
+	// predicate and is rejected, so the minimum is exactly 400.
+	if res.Cfg.Students != 400 {
+		t.Errorf("minimized Students = %d, want exactly 400", res.Cfg.Students)
+	}
+	if len(res.Cfg.Joins) != 0 || len(res.Cfg.Crowds) != 0 {
+		t.Errorf("minimized config keeps joins=%d crowds=%d, want none",
+			len(res.Cfg.Joins), len(res.Cfg.Crowds))
+	}
+	if res.Cfg.EnableCDN || res.Cfg.EnableThreats || res.Cfg.Diurnal != nil {
+		t.Errorf("minimized config keeps cosmetic features: cdn=%v threats=%v diurnal=%v",
+			res.Cfg.EnableCDN, res.Cfg.EnableThreats, res.Cfg.Diurnal != nil)
+	}
+	// 8h halves to 4h then 2h; halving again to 1h would clamp away the
+	// surviving storm (its ramp starts exactly at 1h) and lose the
+	// failure, so the loop settles at 2h.
+	if res.Cfg.Duration != 2*time.Hour {
+		t.Errorf("minimized Duration = %v, want exactly 2h", res.Cfg.Duration)
+	}
+
+	lines := DescribeConfig(res.Cfg)
+	if len(lines) > 5 {
+		t.Errorf("minimized repro is %d lines, want <= 5:\n%s",
+			len(lines), strings.Join(lines, "\n"))
+	}
+
+	// Determinism: a second run takes the same steps to the same config.
+	again := Minimize(plantedCase(), plantedFailing, 0)
+	if strings.Join(again.Steps, ",") != strings.Join(res.Steps, ",") {
+		t.Errorf("shrink steps differ between runs:\n%v\nvs\n%v", res.Steps, again.Steps)
+	}
+	if strings.Join(DescribeConfig(again.Cfg), "\n") != strings.Join(lines, "\n") {
+		t.Error("minimized configs differ between runs")
+	}
+}
+
+// TestMinimizeRespectsEvalBudget: the loop stops at maxEvals and still
+// returns a failing config.
+func TestMinimizeRespectsEvalBudget(t *testing.T) {
+	res := Minimize(plantedCase(), plantedFailing, 3)
+	if res.Evals > 3 {
+		t.Fatalf("Evals = %d, want <= 3", res.Evals)
+	}
+	if !plantedFailing(res.Cfg) {
+		t.Fatal("budget-limited minimize returned a passing config")
+	}
+}
+
+// TestMinimizeNoShrinkPossible: a predicate that only fails on the
+// exact starting config returns it unchanged.
+func TestMinimizeNoShrinkPossible(t *testing.T) {
+	cfg := scenario.Config{Students: 120, Duration: 30 * time.Minute}
+	calls := 0
+	res := Minimize(cfg, func(c scenario.Config) bool {
+		calls++
+		return c.Students == 120
+	}, 0)
+	if res.Cfg.Students != 120 || len(res.Steps) != 0 {
+		t.Fatalf("config changed despite no acceptable shrink: %+v steps %v", res.Cfg, res.Steps)
+	}
+	if calls == 0 {
+		t.Fatal("predicate never evaluated")
+	}
+}
+
+// TestMinimizeDropsDeadWindows: halving the horizon also drops windows
+// that land entirely past the new end, keeping the repro honest.
+func TestMinimizeDropsDeadWindows(t *testing.T) {
+	cfg := scenario.Config{
+		Students: 200,
+		Duration: 8 * time.Hour,
+		Storms: []workload.DeadlineStorm{
+			{Deadline: 7 * time.Hour, Ramp: 30 * time.Minute, PeakMult: 5},
+		},
+	}
+	// Fails regardless of the storm, so the horizon shrinks under it.
+	res := Minimize(cfg, func(c scenario.Config) bool { return c.Students >= 100 }, 0)
+	if len(res.Cfg.Storms) != 0 {
+		t.Errorf("storm at 7h survived a %v horizon", res.Cfg.Duration)
+	}
+	if res.Cfg.Duration >= 8*time.Hour {
+		t.Errorf("Duration = %v, never shrank", res.Cfg.Duration)
+	}
+}

@@ -23,6 +23,15 @@
 # the registry knows — enumerated with `elbench -list` — in both
 # directions: a registered id missing from the catalog fails, and a
 # catalog row naming an unknown id fails, so the table can never rot.
+# The listing command itself is overridable via LISTCMD= so the
+# negative tests can feed a canned registry without building elbench.
+#
+# The same pass enforces the tag layer both ways: every registry entry
+# must carry at least one tag (a tagless experiment is a docs failure,
+# per the Experiment.Tags contract), and each catalog row's `tags`
+# column must equal that experiment's registered tags exactly, so
+# re-tagging an experiment without updating the catalog (or vice
+# versa) breaks the build.
 #
 # Finally, the determinism-analyzer table in ARCHITECTURE.md's
 # "Determinism invariants, statically enforced" section (overridable
@@ -98,10 +107,18 @@ catalog="${CATALOG:-docs/SCENARIOS.md}"
 if [ ! -f "$catalog" ]; then
     echo "check-docs: missing scenario catalog: $catalog" >&2
     fail=1
-elif ! command -v go >/dev/null 2>&1; then
+elif [ -z "${LISTCMD:-}" ] && ! command -v go >/dev/null 2>&1; then
     echo "check-docs: go toolchain unavailable; skipping the registry/catalog cross-check" >&2
 else
-    registry=$(go run ./cmd/elbench -list | cut -f1)
+    listing=$(eval "${LISTCMD:-go run ./cmd/elbench -list}")
+    registry=$(printf '%s\n' "$listing" | cut -f1)
+    # Tag contract: every registry entry carries at least one tag.
+    # `|| true`: no untagged entries is the healthy case under set -e.
+    untagged=$(printf '%s\n' "$listing" | awk -F'\t' 'NF < 3 || $3 == "" {print $1}' || true)
+    for id in $untagged; do
+        echo "check-docs: experiment $id is registered without any tags (Experiment.Tags must be non-empty)" >&2
+        fail=1
+    done
     # `|| true`: zero catalog rows must fall through to the loops below
     # (every registered id reported missing), not abort under set -e.
     listed=$(grep -oE '^\| *`?(table|figure)[0-9]+`? *\|' "$catalog" | tr -d '|` ' || true)
@@ -111,8 +128,21 @@ else
         *)
             echo "check-docs: experiment $id is registered but missing from $catalog" >&2
             fail=1
+            continue
             ;;
         esac
+        # The catalog row's `tags` column (second table column) must
+        # match the registered tags exactly, order included — both are
+        # meant to read as the same vocabulary in the same order.
+        rtags=$(printf '%s\n' "$listing" | awk -F'\t' -v id="$id" '$1 == id {print $3}')
+        dtags=$(awk -F'|' -v id="$id" '{
+            col2 = $2; gsub(/[` ]/, "", col2)
+            if (col2 == id) { print $3 }
+        }' "$catalog")
+        if [ "$(echo $rtags)" != "$(echo $dtags)" ]; then
+            echo "check-docs: $catalog tags for $id are [$(echo $dtags)] but the registry says [$(echo $rtags)]" >&2
+            fail=1
+        fi
     done
     for id in $listed; do
         case " $(echo $registry) " in
