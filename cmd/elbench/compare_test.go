@@ -167,6 +167,7 @@ func TestCompareCommittedBaselines(t *testing.T) {
 	for _, pair := range [][2]string{
 		{"../../BENCH_PR3.json", "../../BENCH_PR4.json"},
 		{"../../BENCH_PR4.json", "../../BENCH_PR5.json"},
+		{"../../BENCH_PR5.json", "../../BENCH_PR8.json"},
 	} {
 		var buf bytes.Buffer
 		if err := run([]string{"-compare", "-compare-report-only",

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	elbench [-seed N] [-id table3] [-csv] [-parallel N]
+//	elbench -id table10 -shards 8       # render a sharded variant at an explicit shard count
 //	elbench -list                       # print experiment ids and titles, run nothing
 //	elbench -json                       # machine-readable perf record
 //	elbench -verify [-golden DIR]       # diff artifacts against the golden store
@@ -11,7 +12,12 @@
 //	elbench -compare old.json new.json  # diff two perf records, fail on regression
 //
 // With -id, only the named experiment runs; with -csv the table is
-// emitted as CSV instead of aligned text. -parallel is a true global
+// emitted as CSV instead of aligned text. -shards renders the -id
+// experiment's shards-parameterized variant (experiments.ShardedVariant)
+// at an explicit shard count — the knob CI's scale lane turns to pin
+// that a fixed-shard-count artifact is byte-identical across -parallel
+// values. It is plain-text/CSV only: the golden store and perf records
+// pin the registry defaults. -parallel is a true global
 // concurrency cap: one work-conserving scenario.Pool is shared by the
 // across-experiments loop and every experiment's internal scenario
 // batch, so any job from any experiment claims a core the moment one
@@ -25,9 +31,9 @@
 // experiment the wall-clock, jobs run (attributed via scenario.Meter),
 // artifact size and SHA-256; plus the shared pool's realized-execution
 // telemetry (scenario.PoolStats) and the SHA-256 of the concatenated
-// artifact bytes. BENCH_PR5.json at the repo root is the committed
-// baseline new runs are compared against (BENCH_PR3.json and
-// BENCH_PR4.json are its predecessors, kept for the trajectory).
+// artifact bytes. BENCH_PR8.json at the repo root is the committed
+// baseline new runs are compared against (BENCH_PR3.json through
+// BENCH_PR5.json are its predecessors, kept for the trajectory).
 //
 // -compare loads two such records and reports per-experiment
 // wall-clock deltas, artifact output drift, experiments added/removed,
@@ -65,6 +71,7 @@ import (
 
 	"elearncloud/internal/benchrec"
 	"elearncloud/internal/experiments"
+	"elearncloud/internal/metrics"
 	"elearncloud/internal/scenario"
 )
 
@@ -111,6 +118,8 @@ func run(args []string, w io.Writer) error {
 		"print registered experiment ids, titles and tags (tab-separated) and exit without running anything")
 	tagFilter := fs.String("tag", "",
 		"with -list: only print experiments carrying this tag (leading @ optional; unknown tags are an error)")
+	shards := fs.Int("shards", 0,
+		"with -id: render the experiment's sharded variant at this shard count (the CI scale lane's knob)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +151,20 @@ func run(args []string, w io.Writer) error {
 	}
 	if *tagFilter != "" && !*listMode {
 		return fmt.Errorf("-tag filters the registry listing and only applies with -list")
+	}
+	// -shards renders a one-off artifact at an explicit shard count; the
+	// golden store and perf records pin the registry defaults, so it is
+	// plain-text/CSV only and needs a single named experiment.
+	if *shards != 0 {
+		if *shards < 0 {
+			return fmt.Errorf("-shards %d: shard count must be positive", *shards)
+		}
+		if modes > 0 {
+			return fmt.Errorf("-shards does not combine with -json, -verify, -update, -compare or -list")
+		}
+		if *id == "" {
+			return fmt.Errorf("-shards needs -id naming the experiment to render")
+		}
 	}
 	if *listMode {
 		// Pure registry enumeration: nothing is simulated, so the
@@ -220,6 +243,16 @@ func run(args []string, w io.Writer) error {
 		e, err := experiments.Find(*id)
 		if err != nil {
 			return err
+		}
+		if *shards > 0 {
+			runAt, ok := experiments.ShardedVariant(e.ID)
+			if !ok {
+				return fmt.Errorf("experiment %s has no sharded variant (see experiments.ShardedVariant)", e.ID)
+			}
+			n := *shards
+			e.Run = func(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
+				return runAt(seed, pool, n)
+			}
 		}
 		list = []experiments.Experiment{e}
 	} else {
@@ -372,6 +405,8 @@ func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
 			Donations:      stats.Donations,
 			PeakConcurrent: stats.PeakConcurrent,
 			TokenIdleMS:    float64(stats.TokenIdle) / float64(time.Millisecond),
+			Shards:         stats.Shards,
+			ShardEvents:    stats.ShardEvents,
 		},
 	}
 	var all bytes.Buffer

@@ -17,7 +17,7 @@ const Schema = "elearncloud/bench/v1"
 // `elbench -json`: one benchmark run of the artifact suite.
 //
 // Field order is emission order; additions must append, never reorder
-// or rename, so committed records (BENCH_PR3.json through BENCH_PR5.json)
+// or rename, so committed records (BENCH_PR3.json through BENCH_PR8.json)
 // stay comparable across PRs. Decoding tolerates unknown fields for
 // the same reason: an old comparator must still read a newer record's
 // common prefix.
@@ -56,6 +56,13 @@ type PoolRecord struct {
 	Donations      uint64  `json:"donations"`
 	PeakConcurrent int     `json:"peak_concurrent"`
 	TokenIdleMS    float64 `json:"token_idle_ms"`
+	// Shards and ShardEvents describe the most recent merged sharded run
+	// on the pool (scenario.ShardedRun): shard count and per-shard DES
+	// event totals in shard-index order. Appended in bench/v1 without a
+	// version bump — omitted when the suite ran no multi-shard scenario,
+	// so pre-sharding records round-trip byte-identically.
+	Shards      int      `json:"shards,omitempty"`
+	ShardEvents []uint64 `json:"shard_events,omitempty"`
 }
 
 // Encode writes the record as indented JSON plus a trailing newline —
@@ -149,6 +156,13 @@ func (r *SuiteRecord) Validate() error {
 	}
 	if r.Pool.Workers < 1 {
 		return fmt.Errorf("pool workers %d (a run always has at least the root caller)", r.Pool.Workers)
+	}
+	if r.Pool.Shards < 0 {
+		return fmt.Errorf("pool shards %d is negative", r.Pool.Shards)
+	}
+	if n := len(r.Pool.ShardEvents); n != 0 && n != r.Pool.Shards {
+		return fmt.Errorf("pool shard_events has %d entries for %d shards (want none or one per shard)",
+			n, r.Pool.Shards)
 	}
 	return nil
 }

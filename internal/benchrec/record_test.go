@@ -104,6 +104,16 @@ func TestValidate(t *testing.T) {
 		{"negative wall", func(r *SuiteRecord) { r.Experiments[0].WallMS = -1 }, "negative"},
 		{"negative suite wall", func(r *SuiteRecord) { r.SuiteWallMS = -1 }, "negative"},
 		{"zero workers", func(r *SuiteRecord) { r.Pool.Workers = 0 }, "workers"},
+		{"sharded pool", func(r *SuiteRecord) {
+			r.Pool.Shards = 2
+			r.Pool.ShardEvents = []uint64{100, 200}
+		}, ""},
+		{"shards without events", func(r *SuiteRecord) { r.Pool.Shards = 8 }, ""},
+		{"negative shards", func(r *SuiteRecord) { r.Pool.Shards = -1 }, "negative"},
+		{"shard events mismatch", func(r *SuiteRecord) {
+			r.Pool.Shards = 2
+			r.Pool.ShardEvents = []uint64{100}
+		}, "shard_events"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -148,6 +158,7 @@ func TestLoadBaseline(t *testing.T) {
 		"BENCH_PR3.json": 17,
 		"BENCH_PR4.json": 17,
 		"BENCH_PR5.json": 19, // + table9, figure10 (the MOOC experiments)
+		"BENCH_PR8.json": 20, // + table10 (the sharded DES scale experiment)
 	} {
 		rec, err := Load(filepath.Join("..", "..", name))
 		if err != nil {

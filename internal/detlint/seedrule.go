@@ -109,9 +109,30 @@ func checkSeedArg(p *Pass, call *ast.CallExpr, ctor string) {
 		return
 	}
 	if !seedRooted(p.Info, seed) {
+		// Sharded runs have their own derivation rule: when the unrooted
+		// expression is built from a shard index, name it, so the fix
+		// (SeedFor(seed, "shard/<k>")) is in the message.
+		if mentionsShard(seed) {
+			p.Reportf(call.Pos(),
+				"%s seed is derived from a shard index without sim.SeedFor; root per-shard RNGs at SeedFor(seed, \"shard/<k>\")", ctor)
+			return
+		}
 		p.Reportf(call.Pos(),
 			"%s seed is not rooted in sim.SeedFor, a Config.Seed, or a constant; results will not be a pure function of the run's seed", ctor)
 	}
+}
+
+// mentionsShard reports whether the seed expression references a
+// shard-ish identifier (shard, shardIdx, numShards, ...).
+func mentionsShard(seed ast.Expr) bool {
+	found := false
+	ast.Inspect(seed, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "shard") {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // seedRooted reports whether the seed expression's subtree reaches one

@@ -38,6 +38,21 @@ func unrooted(workers uint64) {
 	_ = NewRNG(workers) // want "NewRNG seed is not rooted"
 }
 
+// perShardRooted follows the sharded-run derivation rule: each shard's
+// engine RNG is rooted at SeedFor(seed, "shard/<k>").
+func perShardRooted(seed uint64) {
+	for k := 0; k < 4; k++ {
+		_ = NewRNG(SeedFor(seed, "shard/k"))
+	}
+}
+
+// perShardUnrooted seeds a per-shard RNG from the raw shard index —
+// shards would collide with each other and with any other stream; the
+// message must point at the shard derivation rule.
+func perShardUnrooted(shard int) {
+	_ = NewRNG(uint64(shard)) // want "NewRNG seed is derived from a shard index"
+}
+
 // wallClockSeed is the classic crime: every run gets a different world.
 func wallClockSeed() {
 	_ = NewRNG(uint64(time.Now().UnixNano())) // want "NewRNG seeded from time.Now"

@@ -62,6 +62,8 @@ func All() []Experiment {
 		// see internal/workload's MOOC family and docs/SCENARIOS.md).
 		{"table9", "Deployment models under enrollment growth", tags("@mooc @growth @fluid @des @scaling @cost"), Table9GrowthModels},
 		{"figure10", "P95 latency through a deadline storm", tags("@mooc @storm @des @scaling"), Figure10DeadlineStorm},
+		// Scale experiments (sharded DES; see internal/scenario/sharded.go).
+		{"table10", "Sharded DES onboarding ramp at 10^5 students", tags("@mooc @growth @des @scaling @sharded"), Table10ShardedRamp},
 	}
 }
 

@@ -164,6 +164,19 @@ func randomSuperposition(r *sim.RNG) *workload.DiurnalProfile {
 	return workload.SuperposeTimezones(waves)
 }
 
+// pickShards draws the sharded-execution layout. Every family draws it
+// LAST, after all other choices, so the field rides on top of
+// previously minimized case seeds without disturbing their earlier
+// draws: most cases stay single-engine (Shards=0 exercises the direct
+// path and the ShardedRun identity), the rest split across 2-4 per-
+// shard engines.
+func pickShards(r *sim.RNG) int {
+	if r.Bernoulli(0.3) {
+		return between(r, 2, 4)
+	}
+	return 0
+}
+
 // randomCrowd draws an exam flash crowd inside the horizon.
 func randomCrowd(r *sim.RNG, duration time.Duration) workload.FlashCrowd {
 	durMin := int(duration / time.Minute)
@@ -225,6 +238,7 @@ func genCampus(r *sim.RNG) scenario.Config {
 	if cfg.Kind != deploy.Desktop && r.Bernoulli(0.25) {
 		cfg.EnableCDN = true
 	}
+	cfg.Shards = pickShards(r)
 	return cfg
 }
 
@@ -255,6 +269,7 @@ func genMOOC(r *sim.RNG) scenario.Config {
 			cfg.Growth = workload.LinearGrowth(start, start*between(r, 3, 8),
 				cfg.Duration*time.Duration(between(r, 40, 75))/100)
 		}
+		cfg.Shards = pickShards(r)
 		return cfg
 	}
 	cfg.Duration = time.Duration(between(r, 2, 3)) * time.Hour
@@ -271,6 +286,7 @@ func genMOOC(r *sim.RNG) scenario.Config {
 	if r.Bernoulli(0.3) {
 		cfg.Storms = append(cfg.Storms, randomDeadlineStorm(r, cfg.Duration))
 	}
+	cfg.Shards = pickShards(r)
 	return cfg
 }
 
@@ -298,6 +314,7 @@ func genStorm(r *sim.RNG) scenario.Config {
 	if r.Bernoulli(0.5) {
 		cfg.Joins = append(cfg.Joins, randomJoinStorm(r, cfg.Duration))
 	}
+	cfg.Shards = pickShards(r)
 	return cfg
 }
 
@@ -325,5 +342,6 @@ func genChaos(r *sim.RNG) scenario.Config {
 	if r.Bernoulli(0.4) {
 		cfg.Crowds = append(cfg.Crowds, randomCrowd(r, cfg.Duration))
 	}
+	cfg.Shards = pickShards(r)
 	return cfg
 }

@@ -40,6 +40,7 @@ func Fingerprint(r *scenario.Result) string {
 	fmt.Fprintf(&b, "breaches=%d exposures=%d dataLoss=%d\n",
 		r.Breaches, r.SensitiveExposures, r.DataLossEvents)
 	line("bytesLost", r.BytesLost)
+	fmt.Fprintf(&b, "events=%d shards=%d shardEvents=%v\n", r.Events, r.Shards, r.ShardEvents)
 	fmt.Fprintf(&b, "cost=%+v\n", r.Cost)
 	fmt.Fprintf(&b, "servers=%s\n", seriesSig(r.Servers))
 	fmt.Fprintf(&b, "utilization=%s\n", seriesSig(r.Utilization))
@@ -83,6 +84,9 @@ func DescribeConfig(cfg scenario.Config) []string {
 	}
 	if cfg.MaxPublicServers != 0 {
 		run += fmt.Sprintf(" maxPublic=%d", cfg.MaxPublicServers)
+	}
+	if cfg.Shards > 1 {
+		run += fmt.Sprintf(" shards=%d", cfg.Shards)
 	}
 	lines = append(lines, run)
 

@@ -78,6 +78,7 @@ func Invariants() []Invariant {
 		{Name: "parallel-determinism", Check: checkParallelDeterminism},
 		{Name: "capacity-monotone", Check: checkCapacityMonotone},
 		{Name: "cross-fidelity", Check: checkCrossFidelity},
+		{Name: "shard-determinism", Check: checkShardDeterminism},
 	}
 }
 
@@ -528,6 +529,83 @@ func checkCrossFidelity(cfg scenario.Config, _ uint64) (*Violation, string) {
 				fmt.Sprintf("public VM-hours ratio DES/fluid = %.3f (DES %.2f, fluid %.2f) outside [0.95,8]",
 					ratio, des.VMHoursPublic, fluid.VMHoursPublic)}, ""
 		}
+	}
+	return nil, ""
+}
+
+// checkShardDeterminism: the sharded execution path must preserve both
+// the determinism contract and the physics. For single-shard configs,
+// ShardedRun is byte-identical to the direct run — the full sharding
+// machinery executes with every share multiplier exactly 1.0. For
+// multi-shard configs, the merged result is a pure function of
+// (config, seed, K): byte-identical whatever the pool width; and the
+// documented fleet-split approximation must stay within tolerance of
+// the unsharded engine on delivered volume and tail latency.
+func checkShardDeterminism(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	if cfg.Shards < 2 {
+		one := cfg
+		one.Shards = 1
+		direct, err := scenario.Run(cfg)
+		if err != nil {
+			return &Violation{"shard-determinism", "direct run failed: " + err.Error()}, ""
+		}
+		sharded, err := scenario.ShardedRun(one, scenario.NewPool(2))
+		if err != nil {
+			return &Violation{"shard-determinism", "single-shard run failed: " + err.Error()}, ""
+		}
+		if got, want := Fingerprint(sharded), Fingerprint(direct); got != want {
+			return &Violation{"shard-determinism",
+				"single-shard result differs from direct run:\n" + diffLine(want, got)}, ""
+		}
+		return nil, ""
+	}
+
+	serial, err := scenario.ShardedRun(cfg, scenario.NewPool(1))
+	if err != nil {
+		return &Violation{"shard-determinism", "sharded run failed: " + err.Error()}, ""
+	}
+	pooled, err := scenario.ShardedRun(cfg, scenario.NewPool(4))
+	if err != nil {
+		return &Violation{"shard-determinism", "pooled sharded run failed: " + err.Error()}, ""
+	}
+	if got, want := Fingerprint(pooled), Fingerprint(serial); got != want {
+		return &Violation{"shard-determinism",
+			fmt.Sprintf("shards=%d merged result depends on worker count:\n%s",
+				cfg.Shards, diffLine(want, got))}, ""
+	}
+
+	// Physics clause: compare against the unsharded engine. Outage and
+	// threat scenarios are exempt — their singleton processes run on
+	// shard 0 only (the scenario models one institution), so their blast
+	// radius is deliberately 1/K of the unsharded run's.
+	if cfg.HostFailureAt > 0 || cfg.EnableThreats {
+		return nil, ""
+	}
+	un := cfg
+	un.Shards = 0
+	direct, err := scenario.Run(un)
+	if err != nil {
+		return &Violation{"shard-determinism", "unsharded run failed: " + err.Error()}, ""
+	}
+	// Poisson splitting makes the superposed arrival process identical
+	// in distribution, so delivered volume must land close; the split
+	// fleet's Erlang penalty (and its per-shard scale-up floors) may
+	// legitimately move the tail, so P95 gets a generous one-sided band —
+	// table10 measures ~3x drift at 10^5 students on saturated reactive
+	// fleets.
+	dServed, sServed := float64(direct.Served), float64(serial.Served)
+	if dServed > 0 && (sServed < 0.6*dServed || sServed > 1.4*dServed) {
+		return &Violation{"shard-determinism",
+			fmt.Sprintf("shards=%d served %d vs unsharded %d: outside [0.6,1.4]x",
+				cfg.Shards, serial.Served, direct.Served)}, ""
+	}
+	if p, q := serial.Latency.P95(), direct.Latency.P95(); p > q*6+0.5 {
+		return &Violation{"shard-determinism",
+			fmt.Sprintf("shards=%d P95 %.3fs vs unsharded %.3fs: split-fleet drift beyond 6x+0.5s",
+				cfg.Shards, p, q)}, ""
 	}
 	return nil, ""
 }

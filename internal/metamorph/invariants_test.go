@@ -17,6 +17,7 @@ func TestInvariantsRegistry(t *testing.T) {
 	want := []string{
 		"growth-monotone", "envelope-bound", "superpose-bound",
 		"parallel-determinism", "capacity-monotone", "cross-fidelity",
+		"shard-determinism",
 	}
 	invs := Invariants()
 	if len(invs) != len(want) {
@@ -112,6 +113,24 @@ func TestParallelDeterminismHolds(t *testing.T) {
 	c := FindFamilyOrDie(t, "campus").Case(CaseSeed(9, "campus", 1))
 	if v, skip := checkParallelDeterminism(c.Cfg, c.Seed); skip != "" || v != nil {
 		t.Errorf("parallel-determinism: violation %v skip %q", v, skip)
+	}
+}
+
+// TestShardDeterminismHolds exercises both branches of the invariant on
+// generated cases: single-shard identity on a campus case, and the
+// worker-independence + physics clause on a case forced to 3 shards.
+func TestShardDeterminismHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs request-level scenarios")
+	}
+	c := FindFamilyOrDie(t, "campus").Case(CaseSeed(9, "campus", 2))
+	c.Cfg.Shards = 0
+	if v, skip := checkShardDeterminism(c.Cfg, c.Seed); skip != "" || v != nil {
+		t.Errorf("single-shard identity: violation %v skip %q", v, skip)
+	}
+	c.Cfg.Shards = 3
+	if v, skip := checkShardDeterminism(c.Cfg, c.Seed); skip != "" || v != nil {
+		t.Errorf("multi-shard: violation %v skip %q", v, skip)
 	}
 }
 

@@ -132,6 +132,40 @@ func (ts *TimeSeries) Downsample(w time.Duration) *TimeSeries {
 	return out
 }
 
+// MergeSeries combines sample-aligned series point-wise into a new
+// series named name: combine receives the values at one instant in
+// input order and returns the merged value. All inputs must have
+// identical lengths and sample times (shard series sampled on the same
+// cadence are aligned by construction); MergeSeries panics otherwise,
+// because misalignment means the inputs measured different instants and
+// no point-wise combination is meaningful.
+func MergeSeries(name string, combine func(vals []float64) float64, series ...*TimeSeries) *TimeSeries {
+	out := NewTimeSeries(name)
+	if len(series) == 0 {
+		return out
+	}
+	n := series[0].Len()
+	for _, ts := range series[1:] {
+		if ts.Len() != n {
+			panic(fmt.Sprintf("metrics: MergeSeries %q inputs have %d and %d samples",
+				name, n, ts.Len()))
+		}
+	}
+	vals := make([]float64, len(series))
+	for i := 0; i < n; i++ {
+		at := series[0].points[i].At
+		for j, ts := range series {
+			if ts.points[i].At != at {
+				panic(fmt.Sprintf("metrics: MergeSeries %q sample %d at %v vs %v",
+					name, i, ts.points[i].At, at))
+			}
+			vals[j] = ts.points[i].Value
+		}
+		out.Add(at, combine(vals))
+	}
+	return out
+}
+
 // Counter is a monotonically increasing count with a name.
 type Counter struct {
 	name string

@@ -27,13 +27,20 @@ const desktopSlowdown = 1.4
 // Run executes a full request-level simulation of cfg and returns the
 // measured Result.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.defaults(); err != nil {
-		return nil, err
-	}
-	eng := sim.NewEngine(cfg.Seed)
-	cat, teaching := mixFor()
+	return runShard(cfg, nil)
+}
 
-	gen, err := workload.NewGenerator(workload.Config{
+// shardCtx tells runShard which slice of a sharded run it is: the
+// partition built from the parent config, and this run's shard index.
+// A nil shardCtx is the direct, unsharded path.
+type shardCtx struct {
+	sh *workload.Sharding
+	k  int
+}
+
+// genFor builds the workload generator for a defaulted config.
+func genFor(cfg Config) (*workload.Generator, error) {
+	return workload.NewGenerator(workload.Config{
 		Students:          cfg.Students,
 		Growth:            cfg.Growth,
 		ReqPerStudentHour: cfg.ReqPerStudentHour,
@@ -43,15 +50,39 @@ func Run(cfg Config) (*Result, error) {
 		Storms:            cfg.Storms,
 		Joins:             cfg.Joins,
 	})
+}
+
+// runShard executes one simulation engine: the whole scenario when sc is
+// nil, or one shard's slice of it. A single-shard shardCtx multiplies
+// every rate and sizing input by a share of exactly 1.0 and draws users
+// from an identity member list, so its result is byte-identical to the
+// direct path — the property the sharded tests and the CI scale lane pin.
+func runShard(cfg Config, sc *shardCtx) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	cat, teaching := mixFor()
+
+	gen, err := genFor(cfg)
 	if err != nil {
 		return nil, err
+	}
+	// The shard's fleet absorbs only its share of the peak; capacity is
+	// split proportionally to shard population (the documented
+	// approximation — see ShardedRun).
+	share := 1.0
+	peakRPS := gen.MaxRate()
+	if sc != nil {
+		share = sc.sh.CapShare(sc.k)
+		peakRPS = gen.MaxRate() * share
 	}
 	meanSvc := teaching.MeanService(cat)
 	dep, err := deploy.Build(eng, deploy.Spec{
 		Kind:            cfg.Kind,
 		Students:        cfg.Students,
 		Courses:         cfg.Courses,
-		ExpectedPeakRPS: gen.MaxRate(),
+		ExpectedPeakRPS: peakRPS,
 		MeanServiceSec:  meanSvc,
 		TargetUtil:      cfg.TargetUtil,
 		Policy:          cfg.HybridPolicy,
@@ -111,7 +142,7 @@ func Run(cfg Config) (*Result, error) {
 		// The bootstrap size is also the scale-in floor: production
 		// fleets never drain below their baseline, or the first spike
 		// after a quiet night pays the full boot lag.
-		if stop := startScaler(eng, cfg, meanSvc, pubFleet, initial, maxPublic); stop != nil {
+		if stop := startScaler(eng, cfg, meanSvc, pubFleet, initial, maxPublic, share); stop != nil {
 			stops = append(stops, stop)
 		}
 	}
@@ -219,7 +250,12 @@ func Run(cfg Config) (*Result, error) {
 		res.Rejected++
 	}
 
-	stream := gen.Stream(eng.Stream("workload"), bootGrace)
+	var stream *workload.ArrivalStream
+	if sc != nil {
+		stream = sc.sh.Shard(sc.k).Stream(eng.Stream("workload"), bootGrace)
+	} else {
+		stream = gen.Stream(eng.Stream("workload"), bootGrace)
+	}
 	var pump func()
 	pump = func() {
 		a, ok := stream.Next(cfg.Duration)
@@ -345,7 +381,9 @@ func Run(cfg Config) (*Result, error) {
 		res.BytesLost = threat.BytesLost()
 	}
 
-	res.Cost, err = billRun(cfg, dep, res)
+	res.Events = eng.Fired()
+
+	res.Cost, err = billRun(cfg, dep.Assets, dep.PrivateHosts, res)
 	if err != nil {
 		return nil, err
 	}
@@ -354,8 +392,10 @@ func Run(cfg Config) (*Result, error) {
 
 // startScaler attaches the configured autoscaler to the elastic fleet and
 // returns its stop function (nil for the fixed policy). min is the
-// scale-in floor (the bootstrap size).
-func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Target, min, maxPublic int) func() {
+// scale-in floor (the bootstrap size); share scales the scheduled plan's
+// timetable rate down to this shard's slice of the population (exactly
+// 1.0 for unsharded runs).
+func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Target, min, maxPublic int, share float64) func() {
 	switch cfg.Scaler {
 	case ScalerReactive:
 		return scale.NewReactive(target, scale.ReactiveConfig{
@@ -382,7 +422,7 @@ func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Targ
 			return nil
 		}
 		plan := func(tod time.Duration) int {
-			return deploy.ServersForPeak(planGen.Rate(tod), meanSvc, cfg.TargetUtil) + 1
+			return deploy.ServersForPeak(planGen.Rate(tod)*share, meanSvc, cfg.TargetUtil) + 1
 		}
 		return scale.NewScheduled(target, plan, 5*time.Minute, 1, maxPublic).Start(eng)
 	case ScalerPredictive:
@@ -398,8 +438,12 @@ func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Targ
 	}
 }
 
-// billRun converts measured consumption into the itemized bill.
-func billRun(cfg Config, dep *deploy.Deployment, res *Result) (cost.Report, error) {
+// billRun converts measured consumption into the itemized bill. assets
+// and privateHosts come from the run's deployment on the direct path;
+// a sharded merge instead rebills against the full-scenario asset store
+// and the summed host count, because per-shard deployments each hold a
+// full asset copy that must be billed once, not K times.
+func billRun(cfg Config, assets *lms.AssetStore, privateHosts int, res *Result) (cost.Report, error) {
 	months := cfg.Duration.Hours() / 730
 	u := cost.Usage{Months: months}
 	switch cfg.Kind {
@@ -407,15 +451,15 @@ func billRun(cfg Config, dep *deploy.Deployment, res *Result) (cost.Report, erro
 		u.VMHoursOnDemand = res.VMHoursPublic
 		u.EgressGB = res.EgressGB
 		u.CDNGB = res.CDNGB
-		u.StorageGBMonths = dep.Assets.BytesAt(lms.OnPublic) / 1e9 * months
+		u.StorageGBMonths = assets.BytesAt(lms.OnPublic) / 1e9 * months
 	case deploy.Private:
-		u.PrivateHosts = dep.PrivateHosts
+		u.PrivateHosts = privateHosts
 	case deploy.Hybrid:
 		u.VMHoursOnDemand = res.VMHoursPublic
 		u.EgressGB = res.EgressGB
 		u.CDNGB = res.CDNGB
-		u.StorageGBMonths = dep.Assets.BytesAt(lms.OnPublic) / 1e9 * months
-		u.PrivateHosts = dep.PrivateHosts
+		u.StorageGBMonths = assets.BytesAt(lms.OnPublic) / 1e9 * months
+		u.PrivateHosts = privateHosts
 		u.HybridMonths = months
 	case deploy.Desktop:
 		u.DesktopStudents = cfg.Students

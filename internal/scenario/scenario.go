@@ -105,6 +105,10 @@ type Config struct {
 	// MaxPublicServers caps elastic growth (default 0: derived from peak
 	// sizing × 4).
 	MaxPublicServers int
+	// Shards splits a ShardedRun into this many per-shard engines
+	// (default 0 and 1 both mean a single shard). Run ignores it; see
+	// ShardedRun for the partitioning and merge semantics.
+	Shards int
 }
 
 func (c *Config) defaults() error {
@@ -210,6 +214,16 @@ type Result struct {
 	SensitiveExposures int
 	DataLossEvents     int
 	BytesLost          float64
+
+	// Events counts DES events the engine executed (summed across
+	// shards for a merged sharded run).
+	Events uint64
+	// Shards is the shard count of a ShardedRun merge; it stays zero
+	// for direct runs and single-shard runs, whose results are
+	// byte-identical to the direct path. ShardEvents, set only when
+	// Shards >= 2, holds per-shard event counts in shard-index order.
+	Shards      int
+	ShardEvents []uint64
 
 	// Cost is the itemized bill for the run.
 	Cost cost.Report

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -41,6 +42,22 @@ type poolStats struct {
 	netActive atomic.Int64
 	peak      atomic.Int64
 	idleNanos atomic.Int64
+
+	// mu guards the sharded-run layout below — written once per
+	// ShardedRun merge, far off the hot path, so a mutex is fine where
+	// the per-job counters above must stay atomic.
+	mu          sync.Mutex
+	shards      int
+	shardEvents []uint64
+}
+
+// noteShards records the layout of the most recent merged sharded run:
+// its shard count and per-shard event totals in shard-index order.
+func (s *poolStats) noteShards(shards int, events []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = shards
+	s.shardEvents = append([]uint64(nil), events...)
 }
 
 // notePeak folds the current concurrency estimate (netActive plus one
@@ -106,13 +123,19 @@ type PoolStats struct {
 	// never the bottleneck — the analogue of the paper's underutilized
 	// private fleet.
 	TokenIdle time.Duration
+	// Shards and ShardEvents describe the most recent merged ShardedRun
+	// on this pool: its shard count and per-shard DES event totals in
+	// shard-index order. Both are zero/nil when no multi-shard run has
+	// completed.
+	Shards      int
+	ShardEvents []uint64
 }
 
 // Stats snapshots the pool's telemetry. Safe to call at any time, from
 // any goroutine, including while batches are running.
 func (p *Pool) Stats() PoolStats {
 	s := p.stats
-	return PoolStats{
+	out := PoolStats{
 		Workers:        p.workers,
 		JobsRun:        s.jobs.Load(),
 		HelperRecruits: s.recruits.Load(),
@@ -121,6 +144,11 @@ func (p *Pool) Stats() PoolStats {
 		PeakConcurrent: int(s.peak.Load()),
 		TokenIdle:      time.Duration(s.idleNanos.Load()),
 	}
+	s.mu.Lock()
+	out.Shards = s.shards
+	out.ShardEvents = append([]uint64(nil), s.shardEvents...)
+	s.mu.Unlock()
+	return out
 }
 
 // Meter attributes jobs to one caller-defined unit of work — typically

@@ -331,11 +331,14 @@ type ArrivalStream struct {
 	proc     *sim.NHPP
 	classRNG *sim.RNG
 	userRNG  *sim.RNG
+	// pickUser draws the arrival's user; the default draws uniformly
+	// from the active population, a ShardGen stream from its members.
+	pickUser func(t time.Duration) int
 }
 
 // Stream returns a lazy arrival stream starting at start.
 func (g *Generator) Stream(rng *sim.RNG, start time.Duration) *ArrivalStream {
-	return &ArrivalStream{
+	s := &ArrivalStream{
 		gen: g,
 		proc: sim.NewNHPPEnvelope(rng.Stream("arrivals"), func(t sim.Time) float64 {
 			return g.Rate(t)
@@ -343,6 +346,8 @@ func (g *Generator) Stream(rng *sim.RNG, start time.Duration) *ArrivalStream {
 		classRNG: rng.Stream("classes"),
 		userRNG:  rng.Stream("users"),
 	}
+	s.pickUser = func(t time.Duration) int { return s.userRNG.Intn(s.gen.users(t)) }
+	return s
 }
 
 // Next returns the next arrival strictly before horizon, or ok=false.
@@ -354,7 +359,7 @@ func (s *ArrivalStream) Next(horizon time.Duration) (Arrival, bool) {
 	return Arrival{
 		At:     t,
 		Class:  s.gen.MixAt(t).Sample(s.classRNG),
-		UserID: s.userRNG.Intn(s.gen.users(t)),
+		UserID: s.pickUser(t),
 	}, true
 }
 
