@@ -168,6 +168,7 @@ func TestCompareCommittedBaselines(t *testing.T) {
 		{"../../BENCH_PR3.json", "../../BENCH_PR4.json"},
 		{"../../BENCH_PR4.json", "../../BENCH_PR5.json"},
 		{"../../BENCH_PR5.json", "../../BENCH_PR8.json"},
+		{"../../BENCH_PR8.json", "../../BENCH_PR9.json"},
 	} {
 		var buf bytes.Buffer
 		if err := run([]string{"-compare", "-compare-report-only",

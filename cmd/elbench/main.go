@@ -5,6 +5,7 @@
 //
 //	elbench [-seed N] [-id table3] [-csv] [-parallel N]
 //	elbench -id table10 -shards 8       # render a sharded variant at an explicit shard count
+//	elbench -id table11 -fidelity des   # render a fidelity variant (auto|fluid|des)
 //	elbench -list                       # print experiment ids and titles, run nothing
 //	elbench -json                       # machine-readable perf record
 //	elbench -verify [-golden DIR]       # diff artifacts against the golden store
@@ -17,7 +18,12 @@
 // at an explicit shard count — the knob CI's scale lane turns to pin
 // that a fixed-shard-count artifact is byte-identical across -parallel
 // values. It is plain-text/CSV only: the golden store and perf records
-// pin the registry defaults. -parallel is a true global
+// pin the registry defaults. -fidelity renders the -id experiment's
+// fidelity-parameterized variant (experiments.FidelityVariant): auto is
+// the registry-default hybrid comparison, fluid and des force one
+// model. -shards cannot combine with -fidelity fluid — the fluid model
+// has no event loop to shard — and the two flags never compose anyway
+// (no experiment registers both variants). -parallel is a true global
 // concurrency cap: one work-conserving scenario.Pool is shared by the
 // across-experiments loop and every experiment's internal scenario
 // batch, so any job from any experiment claims a core the moment one
@@ -31,9 +37,9 @@
 // experiment the wall-clock, jobs run (attributed via scenario.Meter),
 // artifact size and SHA-256; plus the shared pool's realized-execution
 // telemetry (scenario.PoolStats) and the SHA-256 of the concatenated
-// artifact bytes. BENCH_PR8.json at the repo root is the committed
+// artifact bytes. BENCH_PR9.json at the repo root is the committed
 // baseline new runs are compared against (BENCH_PR3.json through
-// BENCH_PR5.json are its predecessors, kept for the trajectory).
+// BENCH_PR8.json are its predecessors, kept for the trajectory).
 //
 // -compare loads two such records and reports per-experiment
 // wall-clock deltas, artifact output drift, experiments added/removed,
@@ -120,6 +126,8 @@ func run(args []string, w io.Writer) error {
 		"with -list: only print experiments carrying this tag (leading @ optional; unknown tags are an error)")
 	shards := fs.Int("shards", 0,
 		"with -id: render the experiment's sharded variant at this shard count (the CI scale lane's knob)")
+	fidelity := fs.String("fidelity", "",
+		"with -id: render the experiment's fidelity variant (auto, fluid or des)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,6 +172,23 @@ func run(args []string, w io.Writer) error {
 		}
 		if *id == "" {
 			return fmt.Errorf("-shards needs -id naming the experiment to render")
+		}
+	}
+	// -fidelity follows -shards' one-off-artifact policy, and the two
+	// knobs never compose: shards parameterize an event loop, and the
+	// fluid model in particular has none to shard.
+	if *fidelity != "" {
+		if *shards != 0 {
+			if *fidelity == experiments.FidelityFluid {
+				return fmt.Errorf("-shards does not combine with -fidelity fluid: the fluid model has no event loop to shard")
+			}
+			return fmt.Errorf("-shards and -fidelity are separate variants and do not combine")
+		}
+		if modes > 0 {
+			return fmt.Errorf("-fidelity does not combine with -json, -verify, -update, -compare or -list")
+		}
+		if *id == "" {
+			return fmt.Errorf("-fidelity needs -id naming the experiment to render")
 		}
 	}
 	if *listMode {
@@ -252,6 +277,16 @@ func run(args []string, w io.Writer) error {
 			n := *shards
 			e.Run = func(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
 				return runAt(seed, pool, n)
+			}
+		}
+		if *fidelity != "" {
+			runAt, ok := experiments.FidelityVariant(e.ID)
+			if !ok {
+				return fmt.Errorf("experiment %s has no fidelity variant (see experiments.FidelityVariant)", e.ID)
+			}
+			f := *fidelity
+			e.Run = func(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
+				return runAt(seed, pool, f)
 			}
 		}
 		list = []experiments.Experiment{e}
@@ -398,15 +433,17 @@ func emitRecord(w io.Writer, arts []artifact, seed uint64, parallel int,
 		GoVersion:   runtime.Version(),
 		SuiteWallMS: float64(suiteWall) / float64(time.Millisecond),
 		Pool: benchrec.PoolRecord{
-			Workers:        stats.Workers,
-			JobsRun:        stats.JobsRun,
-			HelperRecruits: stats.HelperRecruits,
-			Handoffs:       stats.Handoffs,
-			Donations:      stats.Donations,
-			PeakConcurrent: stats.PeakConcurrent,
-			TokenIdleMS:    float64(stats.TokenIdle) / float64(time.Millisecond),
-			Shards:         stats.Shards,
-			ShardEvents:    stats.ShardEvents,
+			Workers:          stats.Workers,
+			JobsRun:          stats.JobsRun,
+			HelperRecruits:   stats.HelperRecruits,
+			Handoffs:         stats.Handoffs,
+			Donations:        stats.Donations,
+			PeakConcurrent:   stats.PeakConcurrent,
+			TokenIdleMS:      float64(stats.TokenIdle) / float64(time.Millisecond),
+			Shards:           stats.Shards,
+			ShardEvents:      stats.ShardEvents,
+			HybridFluidHours: stats.HybridFluidHours,
+			HybridDESHours:   stats.HybridDESHours,
 		},
 	}
 	var all bytes.Buffer

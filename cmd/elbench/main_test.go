@@ -145,3 +145,56 @@ func TestRunParallelByteIdentity(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFidelityFlagValidation pins the -fidelity flag's conflict
+// rules alongside the other mode-exclusivity checks: it needs -id, it
+// follows -shards' one-off-artifact policy, and -shards with -fidelity
+// fluid in particular is a category error (no event loop to shard).
+func TestRunFidelityFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no id", []string{"-fidelity", "des"}, "-fidelity needs -id"},
+		{"with mode", []string{"-id", "table11", "-fidelity", "des", "-json"}, "does not combine"},
+		{"with verify", []string{"-id", "table11", "-fidelity", "auto", "-verify"}, "does not combine"},
+		{"shards+fluid", []string{"-id", "table11", "-fidelity", "fluid", "-shards", "4"}, "no event loop to shard"},
+		{"shards+des", []string{"-id", "table11", "-fidelity", "des", "-shards", "4"}, "do not combine"},
+		{"no variant", []string{"-id", "table5", "-fidelity", "des"}, "no fidelity variant"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: %v accepted", c.name, c.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunFidelityUnknownValue reaches the variant itself: an
+// unrecognized fidelity must fail with the accepted values listed.
+func TestRunFidelityUnknownValue(t *testing.T) {
+	err := run([]string{"-id", "table11", "-fidelity", "bogus"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown fidelity") {
+		t.Fatalf("bogus fidelity: got %v", err)
+	}
+}
+
+// TestRunFidelityFluid renders the cheap flow-level variant end to end.
+func TestRunFidelityFluid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "table11", "-fidelity", "fluid"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fluid (whole horizon)") {
+		t.Fatalf("fluid variant missing its row:\n%s", out)
+	}
+	if strings.Contains(out, "hybrid (auto fidelity)") {
+		t.Fatalf("fluid variant rendered the hybrid row too:\n%s", out)
+	}
+}

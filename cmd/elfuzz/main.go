@@ -8,6 +8,8 @@
 //	elfuzz -family storm -minimize      # shrink any violation found
 //	elfuzz -family chaos -case-seed 0xdeadbeef -minimize
 //	                                    # re-run one exact case by seed
+//	elfuzz -band                        # add the cross-seed statistical
+//	                                    # invariants (nightly budget)
 //	elfuzz -list                        # print the family registry
 //
 // Every case is a reproducible (family, case seed) pair: the per-case
@@ -41,17 +43,18 @@ func main() {
 func run(args []string, stdout, stderr io.Writer, now func() time.Time) int {
 	fs := flag.NewFlagSet("elfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	family := fs.String("family", "all", "family to fuzz (campus, mooc, storm, chaos, or all)")
+	family := fs.String("family", "all", "family to fuzz (campus, mooc, storm, chaos, hybrid, or all)")
 	n := fs.Int("n", 25, "cases per family")
 	seed := fs.Uint64("seed", 1, "run seed: case seeds derive from it via sim.SeedFor")
 	budget := fs.Duration("budget", 5*time.Minute, "wall-clock budget; cases beyond it are reported as skipped")
 	minimize := fs.Bool("minimize", false, "shrink each violating config to a minimal repro")
+	band := fs.Bool("band", false, "also run the cross-seed statistical invariants (50 request-level runs per feasible case)")
 	caseSeed := fs.String("case-seed", "", "re-run exactly one case by its seed (decimal or 0x hex); requires -family")
 	reproPath := fs.String("repro", "", "append minimized repros to this file (for CI artifacts)")
 	list := fs.Bool("list", false, "print one family per line (name, description, tags) and exit")
 	verbose := fs.Bool("v", false, "print per-invariant detail for every case, not just violations")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: elfuzz [-family name] [-n cases] [-seed N] [-budget dur] [-minimize] [-case-seed N] [-repro file] [-list] [-v]")
+		fmt.Fprintln(stderr, "usage: elfuzz [-family name] [-n cases] [-seed N] [-budget dur] [-minimize] [-band] [-case-seed N] [-repro file] [-list] [-v]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer, now func() time.Time) int {
 
 	d := driver{
 		stdout: stdout, minimize: *minimize, verbose: *verbose,
+		opts:  metamorph.Options{Band: *band},
 		repro: repro, deadline: now().Add(*budget), now: now,
 	}
 
@@ -148,6 +152,7 @@ type driver struct {
 	repro    io.Writer
 	minimize bool
 	verbose  bool
+	opts     metamorph.Options
 	deadline time.Time
 	now      func() time.Time
 
@@ -157,7 +162,7 @@ type driver struct {
 // runCase checks one generated case and reports its verdict.
 func (d *driver) runCase(c metamorph.Case) {
 	d.cases++
-	rep := metamorph.CheckCase(c, metamorph.Options{})
+	rep := metamorph.CheckCase(c, d.opts)
 	var failed []metamorph.CheckResult
 	for _, cr := range rep.Results {
 		d.checks++

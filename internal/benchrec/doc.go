@@ -1,6 +1,6 @@
 // Package benchrec reads, validates and compares the machine-readable
 // perf records `elbench -json` emits (schema "elearncloud/bench/v1",
-// committed baselines BENCH_PR3.json through BENCH_PR8.json at the repo
+// committed baselines BENCH_PR3.json through BENCH_PR9.json at the repo
 // root). It is the runner-side analogue of the paper's §IV
 // cost/performance comparison across deployment models: measure two
 // configurations the same way, then diff the measurements instead of

@@ -17,7 +17,7 @@ const Schema = "elearncloud/bench/v1"
 // `elbench -json`: one benchmark run of the artifact suite.
 //
 // Field order is emission order; additions must append, never reorder
-// or rename, so committed records (BENCH_PR3.json through BENCH_PR8.json)
+// or rename, so committed records (BENCH_PR3.json through BENCH_PR9.json)
 // stay comparable across PRs. Decoding tolerates unknown fields for
 // the same reason: an old comparator must still read a newer record's
 // common prefix.
@@ -63,6 +63,14 @@ type PoolRecord struct {
 	// so pre-sharding records round-trip byte-identically.
 	Shards      int      `json:"shards,omitempty"`
 	ShardEvents []uint64 `json:"shard_events,omitempty"`
+	// HybridFluidHours and HybridDESHours describe the most recent
+	// hybrid run on the pool (scenario.HybridRun): simulated hours
+	// integrated by the fluid model versus simulated at request level.
+	// Appended in bench/v1 without a version bump — omitted when the
+	// suite ran no hybrid scenario, so earlier records round-trip
+	// byte-identically.
+	HybridFluidHours float64 `json:"hybrid_fluid_hours,omitempty"`
+	HybridDESHours   float64 `json:"hybrid_des_hours,omitempty"`
 }
 
 // Encode writes the record as indented JSON plus a trailing newline —
@@ -163,6 +171,10 @@ func (r *SuiteRecord) Validate() error {
 	if n := len(r.Pool.ShardEvents); n != 0 && n != r.Pool.Shards {
 		return fmt.Errorf("pool shard_events has %d entries for %d shards (want none or one per shard)",
 			n, r.Pool.Shards)
+	}
+	if r.Pool.HybridFluidHours < 0 || r.Pool.HybridDESHours < 0 {
+		return fmt.Errorf("pool hybrid fidelity split %.3f/%.3f has a negative side",
+			r.Pool.HybridFluidHours, r.Pool.HybridDESHours)
 	}
 	return nil
 }

@@ -159,6 +159,7 @@ func TestLoadBaseline(t *testing.T) {
 		"BENCH_PR4.json": 17,
 		"BENCH_PR5.json": 19, // + table9, figure10 (the MOOC experiments)
 		"BENCH_PR8.json": 20, // + table10 (the sharded DES scale experiment)
+		"BENCH_PR9.json": 21, // + table11 (the auto-fidelity hybrid experiment)
 	} {
 		rec, err := Load(filepath.Join("..", "..", name))
 		if err != nil {

@@ -126,6 +126,27 @@ func (c *Cache) HitRatio() float64 {
 	return float64(c.hits) / float64(total)
 }
 
+// Touch inserts or refreshes an object without counting a hit or a
+// miss. It is the warm-up primitive: a hybrid run stitching into a DES
+// window uses it to pre-populate the cache to the occupancy the fluid
+// model predicts, without polluting the hit-ratio statistics the window
+// will report.
+func (c *Cache) Touch(id int) {
+	if n, ok := c.entries[id]; ok {
+		c.moveToFront(n)
+		return
+	}
+	if c.capacity == 0 {
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	n := &lruNode{id: id}
+	c.entries[id] = n
+	c.pushFront(n)
+}
+
 // Access looks up an object, inserting it on miss (evicting the least
 // recently used entry if full). It reports whether the access was a hit.
 func (c *Cache) Access(id int) bool {
@@ -220,6 +241,21 @@ func (e *Edge) Config() Config { return e.cfg }
 
 // Cache exposes the underlying cache for inspection.
 func (e *Edge) Cache() *Cache { return e.cache }
+
+// Warm pre-populates the cache with n popularity-sampled objects
+// without touching the hit/miss counters, approximating the steady
+// state an edge reaches after serving traffic for a while. A hybrid
+// run calls it when a DES window opens mid-horizon, so the window
+// starts from the warm cache the fluid model's analytic hit ratio
+// assumed rather than from an empty (all-miss) edge. Sampling draws
+// from the edge's popularity stream, so warming is deterministic for a
+// given (seed, n) and the warmed set skews toward the objects real
+// traffic would have cached.
+func (e *Edge) Warm(n int) {
+	for i := 0; i < n; i++ {
+		e.cache.Touch(e.zipf.Sample())
+	}
+}
 
 // Serve resolves one video request of the given size: a popular object
 // is sampled, the cache consulted, and byte accounting updated. It

@@ -27,8 +27,8 @@ func cell(t *testing.T, tbl *metrics.Table, row, col int) float64 {
 
 func TestRegistryCoversDesignIndex(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registry has %d experiments, want 20 (10 tables + 10 figures)", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (11 tables + 10 figures)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

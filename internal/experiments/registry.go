@@ -64,6 +64,8 @@ func All() []Experiment {
 		{"figure10", "P95 latency through a deadline storm", tags("@mooc @storm @des @scaling"), Figure10DeadlineStorm},
 		// Scale experiments (sharded DES; see internal/scenario/sharded.go).
 		{"table10", "Sharded DES onboarding ramp at 10^5 students", tags("@mooc @growth @des @scaling @sharded"), Table10ShardedRamp},
+		// Hybrid-fidelity experiments (fluid ⇄ DES; see internal/scenario/hybrid.go).
+		{"table11", "Auto-fidelity hybrid on the 500k MOOC course", tags("@mooc @growth @fluid @des @scaling"), Table11HybridCourse},
 	}
 }
 

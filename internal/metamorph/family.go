@@ -68,6 +68,12 @@ func Families() []Family {
 			Tags: []string{"@chaos", "@des", "@network"},
 			gen:  genChaos,
 		},
+		{
+			Name: "hybrid",
+			Desc: "burst-laden courses through the auto-fidelity planner: fluid stretches, DES storm windows",
+			Tags: []string{"@mooc", "@storm", "@fluid", "@des"},
+			gen:  genHybrid,
+		},
 	}
 }
 
@@ -313,6 +319,47 @@ func genStorm(r *sim.RNG) scenario.Config {
 	}
 	if r.Bernoulli(0.5) {
 		cfg.Joins = append(cfg.Joins, randomJoinStorm(r, cfg.Duration))
+	}
+	cfg.Shards = pickShards(r)
+	return cfg
+}
+
+// genHybrid composes the auto-fidelity planner's home regime: a
+// DES-feasible course whose deadline storms (and optional join spike or
+// exam crowd) force the planner to open request-level windows inside an
+// otherwise fluid horizon. Half the cases also perturb the planner
+// knobs themselves, so the window/segment partition is fuzzed along
+// with the load shape.
+func genHybrid(r *sim.RNG) scenario.Config {
+	cfg := scenario.Config{
+		// Mostly elastic deployments: the seam stitching's interesting
+		// state (warm fleet, backlog, CDN edge) lives on the public side.
+		Kind:              []deploy.Kind{deploy.Public, deploy.Public, deploy.Hybrid, deploy.Private}[r.Intn(4)],
+		Students:          between(r, 300, 800),
+		ReqPerStudentHour: float64(between(r, 20, 40)),
+		Duration:          time.Duration(between(r, 3, 6)) * time.Hour,
+		Diurnal:           pickDiurnal(r),
+		Scaler:            pickScaler(r),
+		Access:            network.UrbanBroadband,
+	}
+	for n := between(r, 1, 2); n > 0; n-- {
+		cfg.Storms = append(cfg.Storms, randomDeadlineStorm(r, cfg.Duration))
+	}
+	if r.Bernoulli(0.4) {
+		cfg.Joins = append(cfg.Joins, randomJoinStorm(r, cfg.Duration))
+	}
+	if r.Bernoulli(0.25) {
+		cfg.Crowds = append(cfg.Crowds, randomCrowd(r, cfg.Duration))
+	}
+	if r.Bernoulli(0.25) {
+		cfg.EnableCDN = true
+	}
+	if r.Bernoulli(0.5) {
+		// Perturb the planner: intensity in [1.2, 3.0], guard in [5, 20]
+		// minutes. The plan must stay a pure function of the config for
+		// any knob setting.
+		cfg.HybridIntensity = 1.2 + float64(between(r, 0, 18))/10
+		cfg.HybridGuard = betweenMin(r, 5, 20)
 	}
 	cfg.Shards = pickShards(r)
 	return cfg

@@ -3,6 +3,7 @@ package metamorph
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"elearncloud/internal/deploy"
@@ -53,6 +54,10 @@ type Options struct {
 	// Lite restricts the suite to the generator-level invariants (no
 	// scenario.Run calls) — the budget the native fuzz target uses.
 	Lite bool
+	// Band additionally enables the cross-seed statistical invariants
+	// (bandSeeds scenario runs per case) — the nightly chaos lane's
+	// budget, far too heavy for the interactive default.
+	Band bool
 }
 
 // Invariant is one metamorphic property. Check returns (violation,
@@ -63,6 +68,9 @@ type Invariant struct {
 	Name string
 	// Lite marks generator-level checks cheap enough for fuzzing.
 	Lite bool
+	// Band marks cross-seed statistical checks that run a whole seed
+	// population per case; CheckCase skips them unless Options.Band.
+	Band bool
 	// Check evaluates the property on a generated config. caseSeed
 	// roots any extra randomness the check itself needs, so the whole
 	// verdict stays a pure function of (family, case seed).
@@ -79,6 +87,9 @@ func Invariants() []Invariant {
 		{Name: "capacity-monotone", Check: checkCapacityMonotone},
 		{Name: "cross-fidelity", Check: checkCrossFidelity},
 		{Name: "shard-determinism", Check: checkShardDeterminism},
+		{Name: "hybrid-determinism", Check: checkHybridDeterminism},
+		{Name: "hybrid-agreement", Check: checkHybridAgreement},
+		{Name: "seed-band", Band: true, Check: checkSeedBand},
 	}
 }
 
@@ -97,6 +108,9 @@ func CheckCase(c Case, opt Options) Report {
 	rep := Report{Case: c}
 	for _, inv := range Invariants() {
 		if opt.Lite && !inv.Lite {
+			continue
+		}
+		if inv.Band && !opt.Band {
 			continue
 		}
 		v, skip := inv.Check(c.Cfg, c.Seed)
@@ -608,6 +622,345 @@ func checkShardDeterminism(cfg scenario.Config, _ uint64) (*Violation, string) {
 				cfg.Shards, p, q)}, ""
 	}
 	return nil, ""
+}
+
+// --- hybrid-fidelity invariants ---------------------------------------
+
+// checkHybridDeterminism: HybridRun's stitched result is a pure
+// function of (config, seed, plan) — byte-identical whatever the pool
+// width, for any generated config, windows sharded or not. This is the
+// hybrid analogue of shard-determinism's worker-independence clause;
+// the empty-plan == FluidRun identity and the per-window conservation
+// law are pinned by internal/scenario's property tests.
+func checkHybridDeterminism(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	serial, err := scenario.HybridRun(cfg, scenario.NewPool(1))
+	if err != nil {
+		return &Violation{"hybrid-determinism", "serial hybrid run failed: " + err.Error()}, ""
+	}
+	pooled, err := scenario.HybridRun(cfg, scenario.NewPool(4))
+	if err != nil {
+		return &Violation{"hybrid-determinism", "pooled hybrid run failed: " + err.Error()}, ""
+	}
+	if got, want := Fingerprint(pooled), Fingerprint(serial); got != want {
+		return &Violation{"hybrid-determinism",
+			"hybrid result depends on worker count:\n" + diffLine(want, got)}, ""
+	}
+	return nil, ""
+}
+
+// checkHybridAgreement: on regimes where the fidelity seams are the
+// only approximation — no outages, no threat model, no exam mix shifts
+// in fluid time — HybridRun must track the whole-horizon request-level
+// run within documented bands: exactly on the capex-side facts, within
+// tolerance on served mass, egress and public compute. Shards are
+// zeroed on both sides so the comparison isolates the seam error from
+// the sharded engine's separately-bounded split-fleet drift
+// (shard-determinism owns that band).
+func checkHybridAgreement(cfg scenario.Config, _ uint64) (*Violation, string) {
+	if cfg.Kind == deploy.Desktop {
+		return nil, "desktop has no fleet to cross-check"
+	}
+	if !desFeasible(cfg) {
+		return nil, "config above the request-level budget"
+	}
+	if horizonOf(cfg) < 3*time.Hour {
+		return nil, "horizon too short for the fluid integration step"
+	}
+	if cfg.HostFailureAt > 0 {
+		return nil, "a host failure's blast radius would span fidelity seams"
+	}
+	if cfg.EnableThreats {
+		return nil, "the threat model is whole-horizon in DES but window-local in hybrid"
+	}
+	for _, c := range cfg.Crowds {
+		if c.ExamTraffic {
+			return nil, "fluid stretches hold the teaching mix through exam windows"
+		}
+	}
+	for _, s := range cfg.Storms {
+		if s.ExamTraffic {
+			return nil, "fluid stretches hold the teaching mix through exam windows"
+		}
+	}
+	for _, j := range cfg.Joins {
+		if j.ExamTraffic {
+			return nil, "fluid stretches hold the teaching mix through exam windows"
+		}
+	}
+
+	un := cfg
+	un.Shards = 0
+	plan, err := scenario.PlanFidelity(un)
+	if err != nil {
+		return &Violation{"hybrid-agreement", "planner failed: " + err.Error()}, ""
+	}
+	if len(plan.Windows) == 0 {
+		return nil, "planner opened no DES windows (cross-fidelity owns the all-fluid regime)"
+	}
+
+	des, err := scenario.Run(un)
+	if err != nil {
+		return &Violation{"hybrid-agreement", "request-level run failed: " + err.Error()}, ""
+	}
+	hyb, err := scenario.HybridRun(un, scenario.NewPool(2))
+	if err != nil {
+		return &Violation{"hybrid-agreement", "hybrid run failed: " + err.Error()}, ""
+	}
+
+	// Capex-side facts are seed-free deterministic functions of the
+	// config, so they must agree exactly.
+	if hyb.PrivateHosts != des.PrivateHosts {
+		return &Violation{"hybrid-agreement",
+			fmt.Sprintf("private hosts differ: hybrid %d vs DES %d", hyb.PrivateHosts, des.PrivateHosts)}, ""
+	}
+	if math.Abs(hyb.Cost.Capex-des.Cost.Capex) > 1e-6 {
+		return &Violation{"hybrid-agreement",
+			fmt.Sprintf("capex differs: hybrid %.4f vs DES %.4f", hyb.Cost.Capex, des.Cost.Capex)}, ""
+	}
+
+	// The fluid stretches assume the last mile is up, so the volume
+	// clauses need the DES's offline share negligible — same caveat as
+	// cross-fidelity (seed 0x743912ad8faad72c's rural-DSL lineage).
+	offlineShare := 0.0
+	if total := float64(des.Served + des.Offline); total > 0 {
+		offlineShare = float64(des.Offline) / total
+	}
+	if offlineShare <= 0.01 && des.Served > 0 {
+		// Served mass: the seams lose at most the bootGrace gaps and the
+		// backlog/carry approximations, and the fluid stretches assume all
+		// offered load completes where the DES rejects at saturation.
+		ratio := float64(hyb.Served) / float64(des.Served)
+		if ratio < 0.85 || ratio > 1.15 {
+			return &Violation{"hybrid-agreement",
+				fmt.Sprintf("served ratio hybrid/DES = %.3f (hybrid %d, DES %d) outside [0.85,1.15]",
+					ratio, hyb.Served, des.Served)}, ""
+		}
+	}
+	if !cfg.EnableCDN && des.EgressGB > 0.02 && offlineShare <= 0.01 {
+		ratio := hyb.EgressGB / des.EgressGB
+		if ratio < 0.80 || ratio > 1.25 {
+			return &Violation{"hybrid-agreement",
+				fmt.Sprintf("egress ratio hybrid/DES = %.3f (hybrid %.3f GB, DES %.3f GB) outside [0.80,1.25]",
+					ratio, hyb.EgressGB, des.EgressGB)}, ""
+		}
+	}
+	// Public compute: the hybrid's fluid stretches shed servers
+	// memorylessly where the DES's scaler holds capacity after a burst,
+	// so the hybrid legitimately runs lean — but the DES windows cover
+	// the storms themselves, so the gap is bounded by the quiet-time
+	// retention, not the spike (no spikiness gate needed, unlike
+	// cross-fidelity's unbounded storm ratios). Both sides must clear 5
+	// VM-hours: when the hybrid's public compute is almost all window
+	// time (a hybrid deployment whose private side absorbs the base
+	// load), whole-server quantization and the scaler's held floor
+	// dominate the ratio — seeds 0xc699da707374f890 (96-student hybrid,
+	// ratio 0.20) and 0x57e3ea30f79965d6 (ratio 0.27) minimize to
+	// exactly that shape, the hybrid analogue of cross-fidelity's seed
+	// 0xfb3abd4466c9728c.
+	if (cfg.Kind == deploy.Public || cfg.Kind == deploy.Hybrid) &&
+		cfg.Scaler != scenario.ScalerFixed &&
+		des.VMHoursPublic > 5 && hyb.VMHoursPublic > 5 &&
+		offlineShare <= 0.01 {
+		ratio := hyb.VMHoursPublic / des.VMHoursPublic
+		if ratio < 0.30 || ratio > 1.50 {
+			return &Violation{"hybrid-agreement",
+				fmt.Sprintf("public VM-hours ratio hybrid/DES = %.3f (hybrid %.2f, DES %.2f) outside [0.30,1.50]",
+					ratio, hyb.VMHoursPublic, des.VMHoursPublic)}, ""
+		}
+	}
+	return nil, ""
+}
+
+// --- cross-seed statistical invariants --------------------------------
+
+// bandSeeds is the seed-population size of the cross-seed statistical
+// invariant: large enough that a physics regression shows up as an
+// outlier against a stable median, small enough for a nightly lane.
+const bandSeeds = 50
+
+// Band tolerances: the served fraction is an absolute band around the
+// population median (admission is a ratio of large Poisson counts, so
+// honest seed noise is small); P95 latency gets a multiplicative band
+// with an absolute floor, because quantiles near saturation swing with
+// which seed's storm peak lands on a scale-up boundary.
+const (
+	bandFracTol  = 0.08
+	bandP95Mult  = 4.0
+	bandP95Slack = 0.25
+)
+
+// Stable-regime gates: the band tolerances describe seed concentration
+// of *healthy* service, so populations sitting in a threshold regime —
+// where a seed either tips over an edge or doesn't — are exempt rather
+// than forced into a band wide enough to catch nothing. Each gate is a
+// regime the first -band sweeps actually found (see bandRegime).
+const (
+	bandOfflineMax = 0.01
+	bandStableFrac = 0.95
+	bandStableP95  = 1.0
+)
+
+// bandFeasible bounds the configs the cross-seed invariant runs: it
+// executes bandSeeds full request-level runs (twice when the hybrid
+// path applies), so the per-run budget sits an order of magnitude
+// below desFeasible's.
+func bandFeasible(cfg scenario.Config) bool {
+	if horizonOf(cfg) > 4*time.Hour {
+		return false
+	}
+	pop := float64(cfg.Students)
+	if cfg.Growth != nil {
+		pop = cfg.Growth.Max()
+	}
+	req := cfg.ReqPerStudentHour
+	if req == 0 {
+		req = 50
+	}
+	return pop*req*horizonOf(cfg).Hours() <= 1.2e5
+}
+
+// checkSeedBand: the physics must be statistically stable in the seed.
+// Across bandSeeds independent seeds of the same config, the served
+// fraction of arrivals stays inside an absolute band around the
+// population median and P95 latency inside a multiplicative band — for
+// the pure-DES path, and for the hybrid path when the planner opens
+// windows. A single excursion means seed-chaotic physics (a rare-branch
+// bug), which golden tests at one pinned seed can never see.
+func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
+	if !bandFeasible(cfg) {
+		return nil, "config above the cross-seed statistical budget"
+	}
+
+	fracs := make([]float64, 0, bandSeeds)
+	p95s := make([]float64, 0, bandSeeds)
+	maxOffline := 0.0
+	for i := 0; i < bandSeeds; i++ {
+		sub := cfg
+		sub.Seed = sim.SeedFor(caseSeed, fmt.Sprintf("metamorph/band/%d", i))
+		r, err := scenario.Run(sub)
+		if err != nil {
+			return &Violation{"seed-band", fmt.Sprintf("des run at band seed %d failed: %v", i, err)}, ""
+		}
+		total := r.Served + r.Rejected + r.Offline
+		if total == 0 {
+			return nil, "no arrivals to measure"
+		}
+		fracs = append(fracs, float64(r.Served)/float64(total))
+		p95s = append(p95s, r.Latency.P95())
+		maxOffline = math.Max(maxOffline, float64(r.Offline)/float64(total))
+	}
+	if reason := bandRegime("des", fracs, p95s, maxOffline); reason != "" {
+		return nil, reason
+	}
+	if v := bandViolation("des", fracs, p95s); v != nil {
+		return v, ""
+	}
+
+	// Hybrid path: same statistic through HybridRun, when the planner
+	// opens windows (an empty plan is the FluidRun identity — nothing
+	// request-level left to band).
+	if cfg.Kind == deploy.Desktop {
+		return nil, ""
+	}
+	plan, err := scenario.PlanFidelity(cfg)
+	if err != nil || len(plan.Windows) == 0 {
+		return nil, ""
+	}
+	pool := scenario.NewPool(2)
+	fracs, p95s = fracs[:0], p95s[:0]
+	maxOffline = 0
+	for i := 0; i < bandSeeds; i++ {
+		sub := cfg
+		sub.Seed = sim.SeedFor(caseSeed, fmt.Sprintf("metamorph/band/%d", i))
+		r, err := scenario.HybridRun(sub, pool)
+		if err != nil {
+			return &Violation{"seed-band", fmt.Sprintf("hybrid run at band seed %d failed: %v", i, err)}, ""
+		}
+		total := r.Served + r.Rejected + r.Offline
+		if total == 0 {
+			return nil, "no arrivals to measure"
+		}
+		fracs = append(fracs, float64(r.Served)/float64(total))
+		p95s = append(p95s, r.Latency.P95())
+		maxOffline = math.Max(maxOffline, float64(r.Offline)/float64(total))
+	}
+	if reason := bandRegime("hybrid", fracs, p95s, maxOffline); reason != "" {
+		return nil, reason
+	}
+	if v := bandViolation("hybrid", fracs, p95s); v != nil {
+		return v, ""
+	}
+	return nil, ""
+}
+
+// bandRegime reports why a seed population sits outside the stable
+// service regime the band tolerances describe, or "" when the bands
+// apply. Three regimes are exempt, each discovered by the first -band
+// sweeps and each a legitimate threshold effect rather than a physics
+// bug. Last-mile outages: an access outage either lands inside a
+// seed's horizon or it doesn't, so served mass is bimodal across seeds
+// — chaos seed 0x7a4bb6d0a24761f2 minimizes to a 63-student rural-DSL
+// case where one seed in fifty catches an outage and serves 0.82 of
+// arrivals against a median of 1.0 (chaos seed 0xd1aa00f4044537ab is
+// the same shape deeper in). Saturation rejection: how far a reactive
+// fleet collapses under a 10x exam storm is a knife-edge in the
+// arrival stream, so rejection depth disperses — storm seed
+// 0x70606318406a2908 runs at median served 0.84 with an excursion to
+// 0.74. Queueing collapse of the tail: once the median P95 sits in
+// whole seconds the quantile measures queue depth at the storm peak,
+// which swings an order of magnitude with whether a given seed's peak
+// tips the scaler — storm seeds 0xe381ddf4f0539593 and
+// 0x14c14eb477a93de7 run at median P95 2.1s and 5.4s while their
+// unsaturated seeds sit at 0.4–0.5s. The discovered seeds are pinned
+// in TestSeedBandRegimeGates.
+func bandRegime(path string, fracs, p95s []float64, maxOffline float64) string {
+	if maxOffline > bandOfflineMax {
+		return fmt.Sprintf("%s path: offline share up to %.3f across band seeds — outage bimodality, not seed noise", path, maxOffline)
+	}
+	if fm := median(fracs); fm < bandStableFrac {
+		return fmt.Sprintf("%s path: median served fraction %.3f — saturation depth is a threshold effect", path, fm)
+	}
+	if pm := median(p95s); pm > bandStableP95 {
+		return fmt.Sprintf("%s path: median P95 %.2fs — tail in queueing collapse", path, pm)
+	}
+	return ""
+}
+
+// bandViolation checks one path's seed population against the band
+// tolerances, naming the first offending seed index.
+func bandViolation(path string, fracs, p95s []float64) *Violation {
+	fm := median(fracs)
+	for i, f := range fracs {
+		if math.Abs(f-fm) > bandFracTol {
+			return &Violation{"seed-band",
+				fmt.Sprintf("%s path: served fraction %.4f at band seed %d strays %.4f from the %d-seed median %.4f (tol %.2f)",
+					path, f, i, math.Abs(f-fm), len(fracs), fm, bandFracTol)}
+		}
+	}
+	pm := median(p95s)
+	for i, p := range p95s {
+		if p > pm*bandP95Mult+bandP95Slack || pm > p*bandP95Mult+bandP95Slack {
+			return &Violation{"seed-band",
+				fmt.Sprintf("%s path: P95 %.3fs at band seed %d outside the %d-seed median %.3fs band [/%g,x%g]+%.2fs",
+					path, p, i, len(p95s), pm, bandP95Mult, bandP95Mult, bandP95Slack)}
+		}
+	}
+	return nil
+}
+
+// median returns the population median (mean of the middle pair for
+// even sizes). The input is not modified.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // meanRate samples the generator's average arrival rate over a horizon.

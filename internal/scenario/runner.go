@@ -32,10 +32,15 @@ func Run(cfg Config) (*Result, error) {
 
 // shardCtx tells runShard which slice of a sharded run it is: the
 // partition built from the parent config, and this run's shard index.
-// A nil shardCtx is the direct, unsharded path.
+// A nil shardCtx is the direct, unsharded path. win, when non-nil,
+// restricts the engine to one hybrid DES window: the clock is warped
+// to the window's start, the fleet warm-started at the fluid model's
+// size, the queue seeded with synthetic backlog, and the run cut off
+// at the window's end (see hybrid.go for the stitching rules).
 type shardCtx struct {
-	sh *workload.Sharding
-	k  int
+	sh  *workload.Sharding
+	k   int
+	win *desWindow
 }
 
 // genFor builds the workload generator for a defaulted config.
@@ -62,6 +67,22 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine(cfg.Seed)
+	var win *desWindow
+	if sc != nil {
+		win = sc.win
+	}
+	// startAt/endAt delimit this engine's slice of the horizon: the
+	// whole run on the direct path, one DES window under HybridRun. The
+	// clock warp makes every absolute-time consumer (calendar lookups,
+	// diurnal shapes, scheduled scalers, the sampler) see true virtual
+	// time without knowing about windows.
+	startAt, endAt := time.Duration(0), cfg.Duration
+	if win != nil {
+		startAt, endAt = win.start, win.end
+		if err := eng.Import(sim.State{Now: startAt}); err != nil {
+			return nil, err
+		}
+	}
 	cat, teaching := mixFor()
 
 	gen, err := genFor(cfg)
@@ -138,7 +159,22 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 				initial = 2
 			}
 		}
-		pubFleet.ScaleTo(initial)
+		// A hybrid DES window warm-starts at the fleet the fluid model
+		// was running when the window opened (its share of it, under
+		// sharding) — the boundary-stitch that spares the scaler from
+		// re-climbing out of the bootstrap floor mid-horizon. The floor
+		// itself is unchanged: the scaler may still scale in to it.
+		warm := initial
+		if win != nil && cfg.Scaler != ScalerFixed {
+			warm = int(math.Ceil(float64(win.initServers) * share))
+			if warm < initial {
+				warm = initial
+			}
+			if warm > maxPublic {
+				warm = maxPublic
+			}
+		}
+		pubFleet.ScaleTo(warm)
 		// The bootstrap size is also the scale-in floor: production
 		// fleets never drain below their baseline, or the first spike
 		// after a quiet night pays the full boot lag.
@@ -158,6 +194,12 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if win != nil {
+			// Mid-horizon windows see the cache warmth the fluid model's
+			// analytic hit ratio assumed, not a cold (all-miss) edge —
+			// the cold-CDN divergence regime PR 7's fuzzer pinned.
+			edge.Warm(win.cdnWarm)
+		}
 	}
 
 	// --- request handling ------------------------------------------------
@@ -166,6 +208,12 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		payRNG      = eng.Stream("payload")
 		netRNG      = eng.Stream("net")
 		egressBytes float64
+		// liveReqs counts real requests admitted to a cluster whose
+		// transfer has not yet completed — the queue mass a hybrid
+		// window hands back across its closing seam (CarriedOut). It is
+		// maintained independently of the outcome counters so the seam
+		// conservation identity is a genuine cross-check, not an echo.
+		liveReqs int
 	)
 	finish := func(path *network.Path, billEgress bool, payload float64, start sim.Time) func() {
 		return func() {
@@ -177,11 +225,21 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 				res.Latency.Observe(lat)
 				windowHist.Observe(lat)
 				res.Served++
+				liveReqs--
 				if billEgress {
 					egressBytes += payload
 				}
 			})
 		}
+	}
+	// admit wraps Cluster.Submit for real (non-backlog) requests so
+	// liveReqs tracks every admission that finish will later settle.
+	admit := func(cluster *lms.Cluster, service float64, done func()) bool {
+		if cluster.Submit(service, done) {
+			liveReqs++
+			return true
+		}
+		return false
 	}
 	handle := func(a workload.Arrival) {
 		spec := cat.Spec(a.Class)
@@ -214,7 +272,7 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 			if !hit {
 				videoPath = topo.ToCloud
 			}
-			if cluster.Submit(service, finish(videoPath, false, payload, eng.Now())) {
+			if admit(cluster, service, finish(videoPath, false, payload, eng.Now())) {
 				return
 			}
 			res.Rejected++
@@ -227,7 +285,7 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		const burstLoad = 8
 		if cfg.Kind == deploy.Hybrid && spec.Sensitive && !cfg.StrictPinning &&
 			privCluster.Load() > burstLoad && topo.ToCloud.Up() {
-			if pubCluster.Submit(service, finish(topo.ToCloud, true, payload, eng.Now())) {
+			if admit(pubCluster, service, finish(topo.ToCloud, true, payload, eng.Now())) {
 				res.PolicyViolations++
 				return
 			}
@@ -236,13 +294,13 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 			res.Offline++
 			return
 		}
-		if cluster.Submit(service, finish(path, public, payload, eng.Now())) {
+		if admit(cluster, service, finish(path, public, payload, eng.Now())) {
 			return
 		}
 		// Admission failed. Hybrids may still burst sensitive work
 		// publicly unless pinning is strict (Table 4's policy knob).
 		if cfg.Kind == deploy.Hybrid && spec.Sensitive && !cfg.StrictPinning && topo.ToCloud.Up() {
-			if pubCluster.Submit(service, finish(topo.ToCloud, true, payload, eng.Now())) {
+			if admit(pubCluster, service, finish(topo.ToCloud, true, payload, eng.Now())) {
 				res.PolicyViolations++
 				return
 			}
@@ -250,24 +308,49 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		res.Rejected++
 	}
 
+	streamStart := startAt + bootGrace
 	var stream *workload.ArrivalStream
-	if sc != nil {
-		stream = sc.sh.Shard(sc.k).Stream(eng.Stream("workload"), bootGrace)
+	if sc != nil && sc.sh != nil {
+		stream = sc.sh.Shard(sc.k).Stream(eng.Stream("workload"), streamStart)
 	} else {
-		stream = gen.Stream(eng.Stream("workload"), bootGrace)
+		stream = gen.Stream(eng.Stream("workload"), streamStart)
 	}
 	var pump func()
 	pump = func() {
-		a, ok := stream.Next(cfg.Duration)
+		a, ok := stream.Next(endAt)
 		if !ok {
 			return
 		}
 		eng.ScheduleAt(a.At, "arrival", func() {
+			res.Arrivals++
 			handle(a)
 			pump()
 		})
 	}
 	pump()
+
+	// --- hybrid window backlog seeding -------------------------------------
+	// The queue mass the fluid model says is in flight when the window
+	// opens re-materializes as synthetic mean-service jobs, injected
+	// once the warm fleet has booted. They settle liveness only — no
+	// latency observation, no Served count, no egress — so the window's
+	// statistics describe real requests, while its queues start at the
+	// fluid state instead of empty.
+	backlogDone := func() {} // shared no-op completion for synthetic jobs
+	if win != nil && cfg.Kind != deploy.Desktop {
+		n := int(math.Round(float64(win.backlog) * share))
+		backlogCluster := pubCluster
+		if cfg.Kind == deploy.Private || dep.PublicDC == nil {
+			backlogCluster = privCluster
+		}
+		eng.ScheduleAt(startAt+bootGrace, "hybrid-backlog", func() {
+			for i := 0; i < n; i++ {
+				if backlogCluster.Submit(meanSvc, backlogDone) {
+					res.CarriedIn++
+				}
+			}
+		})
+	}
 
 	// --- sessions and lost work ------------------------------------------
 	var sessions []*lms.Session
@@ -299,7 +382,11 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	}
 
 	// --- host failure injection --------------------------------------------
-	if cfg.HostFailureAt > 0 && privFleet != nil {
+	// Outside this engine's slice the failure never fires: a window
+	// opening after the failure instant must not see the event clamp to
+	// its warped clock and destroy a host that (per the plan) failed
+	// and recovered in fluid time.
+	if cfg.HostFailureAt > 0 && privFleet != nil && cfg.HostFailureAt >= startAt && cfg.HostFailureAt < endAt {
 		eng.ScheduleAt(cfg.HostFailureAt, "host-failure", func() {
 			res.KilledJobs += privFleet.FailHost(0)
 			dep.PrivateDC.FailHost(0)
@@ -341,7 +428,7 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	}))
 
 	// --- run ---------------------------------------------------------------
-	if err := eng.RunUntil(cfg.Duration); err != nil {
+	if err := eng.RunUntil(endAt); err != nil {
 		return nil, fmt.Errorf("scenario: engine: %w", err)
 	}
 	for _, stop := range stops {
@@ -382,6 +469,17 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	}
 
 	res.Events = eng.Fired()
+
+	if win != nil {
+		// The requests still in flight at the closing seam are handed
+		// back to the fluid side; billing happens once at the hybrid
+		// level, over the whole horizon, not per window.
+		res.CarriedOut = liveReqs
+		if res.CarriedOut < 0 {
+			res.CarriedOut = 0
+		}
+		return res, nil
+	}
 
 	res.Cost, err = billRun(cfg, dep.Assets, dep.PrivateHosts, res)
 	if err != nil {

@@ -107,8 +107,18 @@ type Config struct {
 	MaxPublicServers int
 	// Shards splits a ShardedRun into this many per-shard engines
 	// (default 0 and 1 both mean a single shard). Run ignores it; see
-	// ShardedRun for the partitioning and merge semantics.
+	// ShardedRun for the partitioning and merge semantics. HybridRun's
+	// DES windows honor it too: each window runs as a K-shard merge.
 	Shards int
+	// HybridIntensity is the fidelity planner's burst threshold: an
+	// envelope segment whose crowd/storm/join multiplier bound reaches
+	// this factor drops into request-level DES under HybridRun (default
+	// 1.5). Run, ShardedRun and FluidRun ignore it.
+	HybridIntensity float64
+	// HybridGuard pads each DES window by this margin on both sides, so
+	// warm-started fleets boot and settle on quiet traffic before the
+	// burst hits (default 10m). Only HybridRun reads it.
+	HybridGuard time.Duration
 }
 
 func (c *Config) defaults() error {
@@ -156,6 +166,12 @@ func (c *Config) defaults() error {
 	}
 	if c.HostFailureAt > 0 && c.HostRecoveryAfter <= 0 {
 		c.HostRecoveryAfter = 4 * time.Hour
+	}
+	if c.HybridIntensity <= 0 {
+		c.HybridIntensity = 1.5
+	}
+	if c.HybridGuard <= 0 {
+		c.HybridGuard = 10 * time.Minute
 	}
 	return nil
 }
@@ -215,6 +231,18 @@ type Result struct {
 	DataLossEvents     int
 	BytesLost          float64
 
+	// Arrivals counts generated request arrivals before routing — the
+	// left-hand side of the seam conservation identity
+	// Arrivals == Served + Rejected + Offline + CarriedOut.
+	Arrivals uint64
+	// CarriedIn and CarriedOut are a hybrid DES window's seam state:
+	// synthetic backlog requests injected at the window's opening
+	// boundary (the queue mass the fluid model predicts is in flight),
+	// and real requests still in flight when the window closes (handed
+	// back to the fluid side as served mass). Both stay zero outside
+	// HybridRun windows.
+	CarriedIn, CarriedOut int
+
 	// Events counts DES events the engine executed (summed across
 	// shards for a merged sharded run).
 	Events uint64
@@ -224,6 +252,13 @@ type Result struct {
 	// Shards >= 2, holds per-shard event counts in shard-index order.
 	Shards      int
 	ShardEvents []uint64
+
+	// FluidSimHours and DESSimHours split a HybridRun's simulated
+	// horizon by fidelity: hours integrated by the fluid model versus
+	// hours simulated at request level. Both stay zero outside
+	// HybridRun; their sum there is the full horizon.
+	FluidSimHours float64
+	DESSimHours   float64
 
 	// Cost is the itemized bill for the run.
 	Cost cost.Report

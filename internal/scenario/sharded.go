@@ -52,6 +52,14 @@ import (
 // of 0 or 1 runs a single shard and returns its result directly (byte-
 // identical to Run). A nil pool runs on a one-off DefaultWorkers pool.
 func ShardedRun(cfg Config, pool *Pool) (*Result, error) {
+	return shardedRun(cfg, pool, nil)
+}
+
+// shardedRun is ShardedRun with an optional hybrid DES window: every
+// shard engine is confined to the window's span, so HybridRun's
+// windows honor Config.Shards with the same partition, seeds and merge
+// as a whole-horizon sharded run.
+func shardedRun(cfg Config, pool *Pool, win *desWindow) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -92,7 +100,7 @@ func ShardedRun(cfg Config, pool *Pool) (*Result, error) {
 
 	results := make([]*Result, shards)
 	if err := pool.ForEach(shards, func(k int) error {
-		r, err := runShard(subs[k], &shardCtx{sh: sh, k: k})
+		r, err := runShard(subs[k], &shardCtx{sh: sh, k: k, win: win})
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", k, err)
 		}
@@ -104,7 +112,7 @@ func ShardedRun(cfg Config, pool *Pool) (*Result, error) {
 	if shards == 1 {
 		return results[0], nil
 	}
-	merged, err := mergeShards(cfg, results)
+	merged, err := mergeShards(cfg, results, win != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -127,8 +135,10 @@ func shardSlice(total, k, shards int) int {
 // mergeShards folds per-shard results into one Result, iterating in
 // shard-index order everywhere so every float reduction has one fixed
 // evaluation order — the VMHours lesson: sums over shards must never
-// depend on completion order.
-func mergeShards(cfg Config, shards []*Result) (*Result, error) {
+// depend on completion order. window marks a hybrid DES-window merge,
+// which skips billing (the hybrid stitcher bills once over the whole
+// horizon).
+func mergeShards(cfg Config, shards []*Result, window bool) (*Result, error) {
 	base := shards[0]
 	res := &Result{
 		Kind:     base.Kind,
@@ -156,6 +166,9 @@ func mergeShards(cfg Config, shards []*Result) (*Result, error) {
 		res.SensitiveExposures += r.SensitiveExposures
 		res.DataLossEvents += r.DataLossEvents
 		res.BytesLost += r.BytesLost
+		res.Arrivals += r.Arrivals
+		res.CarriedIn += r.CarriedIn
+		res.CarriedOut += r.CarriedOut
 		res.Events += r.Events
 		res.ShardEvents = append(res.ShardEvents, r.Events)
 	}
@@ -227,6 +240,12 @@ func mergeShards(cfg Config, shards []*Result) (*Result, error) {
 		}
 		return sum / float64(len(vals))
 	}, p95...)
+
+	// A hybrid window merge stops here: no bill, no reference
+	// deployment — the stitcher bills the assembled horizon once.
+	if window {
+		return res, nil
+	}
 
 	// Rebill at the merged level. Each shard billed a deployment holding
 	// a full copy of the asset store (shards split load, not content),

@@ -49,6 +49,11 @@ type poolStats struct {
 	mu          sync.Mutex
 	shards      int
 	shardEvents []uint64
+	// hybridFluidHours / hybridDESHours record the most recent
+	// HybridRun's fidelity split — written once per hybrid run, same
+	// off-hot-path regime as the shard layout.
+	hybridFluidHours float64
+	hybridDESHours   float64
 }
 
 // noteShards records the layout of the most recent merged sharded run:
@@ -58,6 +63,16 @@ func (s *poolStats) noteShards(shards int, events []uint64) {
 	defer s.mu.Unlock()
 	s.shards = shards
 	s.shardEvents = append([]uint64(nil), events...)
+}
+
+// noteHybrid records the fidelity split of the most recent HybridRun:
+// simulated hours integrated by the fluid model versus simulated at
+// request level.
+func (s *poolStats) noteHybrid(fluidHours, desHours float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hybridFluidHours = fluidHours
+	s.hybridDESHours = desHours
 }
 
 // notePeak folds the current concurrency estimate (netActive plus one
@@ -129,6 +144,12 @@ type PoolStats struct {
 	// completed.
 	Shards      int
 	ShardEvents []uint64
+	// HybridFluidHours and HybridDESHours describe the most recent
+	// HybridRun on this pool: simulated hours integrated by the fluid
+	// model versus simulated at request level. Both are zero when no
+	// hybrid run has completed.
+	HybridFluidHours float64
+	HybridDESHours   float64
 }
 
 // Stats snapshots the pool's telemetry. Safe to call at any time, from
@@ -147,6 +168,8 @@ func (p *Pool) Stats() PoolStats {
 	s.mu.Lock()
 	out.Shards = s.shards
 	out.ShardEvents = append([]uint64(nil), s.shardEvents...)
+	out.HybridFluidHours = s.hybridFluidHours
+	out.HybridDESHours = s.hybridDESHours
 	s.mu.Unlock()
 	return out
 }

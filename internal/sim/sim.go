@@ -343,6 +343,40 @@ func (e *Engine) Every(period Time, name string, fn func()) (stop func()) {
 	}
 }
 
+// State is a portable engine snapshot for warm-starting: the minimal
+// kernel state a hybrid-fidelity run must carry across a fluid⇄DES
+// boundary. Domain state (fleets, queues, caches) lives above the
+// kernel and is re-materialized by the scenario layer; the kernel's
+// only contribution to the stitch is the virtual clock, so State is
+// deliberately small and copyable.
+type State struct {
+	// Now is the virtual clock position the importing engine starts at.
+	Now Time
+}
+
+// Export snapshots the engine's warm-start state at the current instant.
+func (e *Engine) Export() State { return State{Now: e.now} }
+
+// Import warps a fresh engine to a previously exported (or constructed)
+// state, so a DES window opening mid-horizon sees the true virtual time
+// — absolute-time schedules (ScheduleAt, calendar lookups) then land
+// where the fluid model left off instead of being clamped to zero.
+//
+// Import is only valid on a pristine engine: nothing scheduled, nothing
+// fired, clock at zero. Importing into an engine that already has
+// history would silently reorder its (At, seq) stream, so that is an
+// error rather than a best-effort warp.
+func (e *Engine) Import(s State) error {
+	if s.Now < 0 {
+		return fmt.Errorf("sim: Import with negative clock %v", s.Now)
+	}
+	if e.now != 0 || e.nextSeq != 0 || e.fired != 0 || e.queue.size() != 0 {
+		return errors.New("sim: Import into a non-fresh engine (events scheduled, fired, or clock moved)")
+	}
+	e.now = s.Now
+	return nil
+}
+
 // Seconds converts a float64 second count to virtual Time.
 func Seconds(s float64) Time {
 	if math.IsNaN(s) || math.IsInf(s, 0) {

@@ -250,60 +250,88 @@ func (g *Generator) Envelope() sim.EnvelopeFunc {
 		return sim.ConstantEnvelope(g.MaxRate())
 	}
 	return func(t sim.Time) (float64, sim.Time) {
-		until := t - t%time.Hour + time.Hour
-		// Tighten around shape edges so a bound never straddles a window
-		// boundary loosely, and re-bound minute-by-minute while an
-		// exponential storm shape is actually moving.
-		clampEdge := func(edge time.Duration) {
-			if edge > t && edge < until {
-				until = edge
-			}
-		}
-		storming := false
-		for _, c := range g.cfg.Crowds {
-			clampEdge(c.Start)
-			clampEdge(c.End)
-		}
-		for _, s := range g.cfg.Storms {
-			clampEdge(s.Deadline - s.Ramp)
-			clampEdge(s.Deadline)
-			storming = storming || s.Active(t)
-		}
-		for _, j := range g.cfg.Joins {
-			clampEdge(j.Start)
-			clampEdge(j.Start + j.Window)
-			storming = storming || j.Active(t)
-		}
-		if storming {
-			if minuteEnd := t - t%time.Minute + time.Minute; minuteEnd < until {
-				until = minuteEnd
-			}
-		}
-		pop := float64(g.cfg.Students)
-		if g.cfg.Growth != nil {
-			pop = g.cfg.Growth.At(until) // monotone: segment max at the end
-		}
-		max := pop * g.cfg.ReqPerStudentHour / 3600
-		// Diurnal is linear between hour anchors and [t, until) never
-		// crosses one, so the endpoints bound the segment.
-		max *= math.Max(g.cfg.Diurnal.At(t), g.cfg.Diurnal.At(until))
-		if g.cfg.Calendar != nil {
-			// Week boundaries fall on hour marks, never inside [t, until).
-			max *= g.cfg.Calendar.WeekAt(t).Mult
-		}
-		for _, c := range g.cfg.Crowds {
-			if c.Active(t) && c.Mult > 1 {
-				max *= c.Mult
-			}
-		}
-		for _, s := range g.cfg.Storms {
-			max *= s.MaxOn(t, until)
-		}
-		for _, j := range g.cfg.Joins {
-			max *= j.MaxOn(t, until)
-		}
-		return max, until
+		until := g.segmentEnd(t)
+		return g.segmentBound(t, until), until
 	}
+}
+
+// segmentEnd returns the end of the envelope segment starting at t:
+// the next hour mark, tightened around shape edges so a bound never
+// straddles a window boundary loosely, and re-bounded minute-by-minute
+// while an exponential storm shape is actually moving.
+func (g *Generator) segmentEnd(t time.Duration) time.Duration {
+	until := t - t%time.Hour + time.Hour
+	clampEdge := func(edge time.Duration) {
+		if edge > t && edge < until {
+			until = edge
+		}
+	}
+	storming := false
+	for _, c := range g.cfg.Crowds {
+		clampEdge(c.Start)
+		clampEdge(c.End)
+	}
+	for _, s := range g.cfg.Storms {
+		clampEdge(s.Deadline - s.Ramp)
+		clampEdge(s.Deadline)
+		storming = storming || s.Active(t)
+	}
+	for _, j := range g.cfg.Joins {
+		clampEdge(j.Start)
+		clampEdge(j.Start + j.Window)
+		storming = storming || j.Active(t)
+	}
+	if storming {
+		if minuteEnd := t - t%time.Minute + time.Minute; minuteEnd < until {
+			until = minuteEnd
+		}
+	}
+	return until
+}
+
+// segmentBound returns the envelope's rate bound over [t, until):
+// the quiet bound scaled by the burst multiplier bound.
+func (g *Generator) segmentBound(t, until time.Duration) float64 {
+	return g.quietBound(t, until) * g.burstMult(t, until)
+}
+
+// quietBound bounds the rate over [t, until) ignoring crowd, storm and
+// join windows: population, diurnal shape and calendar only.
+func (g *Generator) quietBound(t, until time.Duration) float64 {
+	pop := float64(g.cfg.Students)
+	if g.cfg.Growth != nil {
+		pop = g.cfg.Growth.At(until) // monotone: segment max at the end
+	}
+	max := pop * g.cfg.ReqPerStudentHour / 3600
+	// Diurnal is linear between hour anchors and [t, until) never
+	// crosses one, so the endpoints bound the segment.
+	max *= math.Max(g.cfg.Diurnal.At(t), g.cfg.Diurnal.At(until))
+	if g.cfg.Calendar != nil {
+		// Week boundaries fall on hour marks, never inside [t, until).
+		max *= g.cfg.Calendar.WeekAt(t).Mult
+	}
+	return max
+}
+
+// burstMult bounds the product of crowd/storm/join multipliers over
+// [t, until) — the factor by which the segment's bound exceeds its
+// quiet baseline. This is the quantity the hybrid fidelity planner
+// classifies on: a segment is "bursty" exactly when burstMult clears
+// the intensity threshold.
+func (g *Generator) burstMult(t, until time.Duration) float64 {
+	mult := 1.0
+	for _, c := range g.cfg.Crowds {
+		if c.Active(t) && c.Mult > 1 {
+			mult *= c.Mult
+		}
+	}
+	for _, s := range g.cfg.Storms {
+		mult *= s.MaxOn(t, until)
+	}
+	for _, j := range g.cfg.Joins {
+		mult *= j.MaxOn(t, until)
+	}
+	return mult
 }
 
 // Generate produces arrivals on [start, horizon) in time order, invoking

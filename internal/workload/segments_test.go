@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func mustGen(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+const testGrid = 5 * time.Minute
+
+func TestBurstWindowsQuietConfigIsEmpty(t *testing.T) {
+	g := mustGen(t, Config{Students: 1000, ReqPerStudentHour: 50})
+	if wins := g.BurstWindows(6*time.Hour, 1.5, 10*time.Minute, testGrid); wins != nil {
+		t.Fatalf("quiet config produced windows: %v", wins)
+	}
+	grow := mustGen(t, Config{
+		Growth:            LinearGrowth(1000, 8000, 90*time.Minute),
+		ReqPerStudentHour: 50,
+	})
+	if wins := grow.BurstWindows(6*time.Hour, 1.5, 10*time.Minute, testGrid); wins != nil {
+		t.Fatalf("growth-only config produced windows: %v", wins)
+	}
+}
+
+func TestBurstWindowsCoverDeadlineStorm(t *testing.T) {
+	storm := DeadlineStorm{Deadline: 3 * time.Hour, Ramp: 90 * time.Minute, PeakMult: 10}
+	g := mustGen(t, Config{
+		Students:          1000,
+		ReqPerStudentHour: 50,
+		Storms:            []DeadlineStorm{storm},
+	})
+	guard := 10 * time.Minute
+	wins := g.BurstWindows(6*time.Hour, 1.5, guard, testGrid)
+	if len(wins) != 1 {
+		t.Fatalf("want one window, got %v", wins)
+	}
+	w := wins[0]
+	// The exponential build-up only clears the 1.5x threshold near the
+	// deadline: the window must contain the cliff plus the guard, but
+	// not the whole ramp (that is the planner's whole point).
+	if w.End < storm.Deadline+guard {
+		t.Fatalf("window %v..%v ends before guarded deadline %v", w.Start, w.End, storm.Deadline+guard)
+	}
+	raw := g.BurstWindows(6*time.Hour, 1.5, 0, 0)
+	if len(raw) != 1 || raw[0].Start <= storm.Deadline-storm.Ramp {
+		t.Fatalf("raw windows %v swallowed the entire ramp from %v", raw, storm.Deadline-storm.Ramp)
+	}
+	if w.Start%testGrid != 0 || w.End%testGrid != 0 {
+		t.Fatalf("window %v..%v not grid-aligned", w.Start, w.End)
+	}
+	if w.PeakBound <= 0 {
+		t.Fatalf("PeakBound = %v", w.PeakBound)
+	}
+}
+
+func TestBurstWindowsClampToHorizon(t *testing.T) {
+	g := mustGen(t, Config{
+		Students:          1000,
+		ReqPerStudentHour: 50,
+		Joins:             []JoinStorm{{Start: 0, Window: 30 * time.Minute, PeakMult: 8}},
+	})
+	horizon := 2 * time.Hour
+	wins := g.BurstWindows(horizon, 1.5, 15*time.Minute, testGrid)
+	if len(wins) != 1 {
+		t.Fatalf("want one window, got %v", wins)
+	}
+	if wins[0].Start != 0 {
+		t.Fatalf("window start %v, want clamp to 0", wins[0].Start)
+	}
+	if wins[0].End > horizon {
+		t.Fatalf("window end %v past horizon %v", wins[0].End, horizon)
+	}
+}
+
+func TestBurstWindowsMergeOverlap(t *testing.T) {
+	g := mustGen(t, Config{
+		Students:          1000,
+		ReqPerStudentHour: 50,
+		Storms:            []DeadlineStorm{{Deadline: 150 * time.Minute, Ramp: 60 * time.Minute, PeakMult: 10}},
+		Joins:             []JoinStorm{{Start: 100 * time.Minute, Window: 30 * time.Minute, PeakMult: 6}},
+	})
+	wins := g.BurstWindows(5*time.Hour, 1.5, 10*time.Minute, testGrid)
+	if len(wins) != 1 {
+		t.Fatalf("overlapping shapes should merge to one window, got %v", wins)
+	}
+	for i := 1; i < len(wins); i++ {
+		if wins[i].Start <= wins[i-1].End {
+			t.Fatalf("windows %d and %d not disjoint: %v", i-1, i, wins)
+		}
+	}
+}
+
+func TestBurstWindowsFactorAboveEveryPeakIsEmpty(t *testing.T) {
+	g := mustGen(t, Config{
+		Students:          1000,
+		ReqPerStudentHour: 50,
+		Joins:             []JoinStorm{{Start: time.Hour, Window: 30 * time.Minute, PeakMult: 4}},
+	})
+	if wins := g.BurstWindows(4*time.Hour, 100, 10*time.Minute, testGrid); wins != nil {
+		t.Fatalf("factor above every peak produced windows: %v", wins)
+	}
+}
+
+// TestBurstWindowsHonest is the planner's core promise: every instant
+// where the realized rate multiplier reaches the factor lies inside
+// some returned window — a burst can never hide in a "quiet" stretch.
+func TestBurstWindowsHonest(t *testing.T) {
+	cfg := Config{
+		Students:          2000,
+		ReqPerStudentHour: 40,
+		Diurnal:           CampusDiurnal(),
+		Crowds:            []FlashCrowd{{Start: 90 * time.Minute, End: 2 * time.Hour, Mult: 10}},
+		Storms:            []DeadlineStorm{{Deadline: 5 * time.Hour, Ramp: 2 * time.Hour, PeakMult: 8}},
+		Joins:             []JoinStorm{{Start: 6 * time.Hour, Window: 40 * time.Minute, PeakMult: 6}},
+	}
+	g := mustGen(t, cfg)
+	quietCfg := cfg
+	quietCfg.Crowds, quietCfg.Storms, quietCfg.Joins = nil, nil, nil
+	quiet := mustGen(t, quietCfg)
+
+	const factor = 1.5
+	horizon := 8 * time.Hour
+	wins := g.BurstWindows(horizon, factor, 0, 0) // no guard, no grid: the raw classification
+	inWindow := func(at time.Duration) bool {
+		for _, w := range wins {
+			if at >= w.Start && at < w.End {
+				return true
+			}
+		}
+		return false
+	}
+	for at := time.Duration(0); at < horizon; at += 30 * time.Second {
+		mult := g.Rate(at) / quiet.Rate(at)
+		if mult >= factor && !inWindow(at) {
+			t.Fatalf("t=%v has multiplier %.2f >= %v but is outside every window %v", at, mult, factor, wins)
+		}
+	}
+}
