@@ -1,0 +1,138 @@
+package cost
+
+import "sort"
+
+// This file generalizes OptimizeReservedMix — one purchase knob, one
+// objective — into a Pareto search over whole deployment plans: a
+// deployment model, a scaling policy and a purchase mix evaluated
+// together, with cost and tail latency as the two objectives. The
+// advisor's -forecast mode runs a plan grid through a simulated growth
+// curve, hands the evaluated points here, and reads the answer off the
+// frontier.
+
+// PlanPoint is one evaluated deployment plan: the knob settings and the
+// simulated outcome. The knobs are labels, not live objects, so the
+// package stays free of simulation dependencies and a frontier can be
+// rendered or diffed as plain data.
+type PlanPoint struct {
+	// Model is the deployment model ("public", "private", "hybrid").
+	Model string
+	// Scaler is the elasticity policy the plan runs.
+	Scaler string
+	// Mix names the purchase strategy ("on-demand", "reserved-mix",
+	// "all-reserved"); Reserved is its reserved-slot count.
+	Mix      string
+	Reserved int
+	// USD is the total bill over the evaluated horizon.
+	USD float64
+	// P95 is the achieved tail latency in seconds.
+	P95 float64
+	// ErrorRate is the rejected+offline fraction, carried for reports.
+	ErrorRate float64
+	// VMHours is rented compute consumption, carried for reports.
+	VMHours float64
+}
+
+// dominates reports whether a beats b on both objectives, strictly on
+// at least one.
+func dominates(a, b PlanPoint) bool {
+	if a.USD > b.USD || a.P95 > b.P95 {
+		return false
+	}
+	return a.USD < b.USD || a.P95 < b.P95
+}
+
+// SortPlans orders points in place by (USD, P95, Model, Scaler, Mix) —
+// a total order over the fields that identify a plan, so every consumer
+// renders the same sequence whatever order the grid was evaluated in.
+func SortPlans(points []PlanPoint) {
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.USD != b.USD {
+			return a.USD < b.USD
+		}
+		if a.P95 != b.P95 {
+			return a.P95 < b.P95
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Scaler != b.Scaler {
+			return a.Scaler < b.Scaler
+		}
+		return a.Mix < b.Mix
+	})
+}
+
+// ParetoSearch returns the nondominated subset of the evaluated plans —
+// the cost/latency frontier, cheapest first. A plan survives unless
+// some other plan is at least as good on both objectives and strictly
+// better on one; duplicates of a surviving outcome all survive, so
+// equally-priced equally-fast plans stay visible to the caller.
+func ParetoSearch(points []PlanPoint) []PlanPoint {
+	var frontier []PlanPoint
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			if dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	SortPlans(frontier)
+	return frontier
+}
+
+// CheapestCompliant returns the cheapest plan whose P95 meets the SLO
+// (seconds), and whether any does. Ties break by the SortPlans order.
+func CheapestCompliant(points []PlanPoint, sloP95 float64) (PlanPoint, bool) {
+	var compliant []PlanPoint
+	for _, p := range points {
+		if p.P95 <= sloP95 {
+			compliant = append(compliant, p)
+		}
+	}
+	if len(compliant) == 0 {
+		return PlanPoint{}, false
+	}
+	SortPlans(compliant)
+	return compliant[0], true
+}
+
+// BestUnderBudget returns the lowest-latency plan costing at most
+// budget USD, and whether any fits. Latency ties break cheaper-first
+// (then the SortPlans order), so relaxing the budget never makes the
+// recommendation worse — the weak monotonicity the advisor invariant
+// checks.
+func BestUnderBudget(points []PlanPoint, budget float64) (PlanPoint, bool) {
+	var affordable []PlanPoint
+	for _, p := range points {
+		if p.USD <= budget {
+			affordable = append(affordable, p)
+		}
+	}
+	if len(affordable) == 0 {
+		return PlanPoint{}, false
+	}
+	sort.Slice(affordable, func(i, j int) bool {
+		a, b := affordable[i], affordable[j]
+		if a.P95 != b.P95 {
+			return a.P95 < b.P95
+		}
+		if a.USD != b.USD {
+			return a.USD < b.USD
+		}
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Scaler != b.Scaler {
+			return a.Scaler < b.Scaler
+		}
+		return a.Mix < b.Mix
+	})
+	return affordable[0], true
+}

@@ -1,0 +1,109 @@
+package cost
+
+import (
+	"reflect"
+	"testing"
+)
+
+func planGrid() []PlanPoint {
+	return []PlanPoint{
+		{Model: "public", Scaler: "reactive", Mix: "on-demand", USD: 30, P95: 2.0},
+		{Model: "public", Scaler: "growth-fit", Mix: "on-demand", USD: 32, P95: 0.5},
+		{Model: "public", Scaler: "growth-fit", Mix: "reserved-mix", USD: 28, P95: 0.5},
+		{Model: "private", Scaler: "fixed", Mix: "on-demand", USD: 10, P95: 0.8},
+		{Model: "hybrid", Scaler: "growth-fit", Mix: "on-demand", USD: 45, P95: 0.4},
+		{Model: "public", Scaler: "predictive", Mix: "on-demand", USD: 35, P95: 3.0},
+	}
+}
+
+func TestParetoSearchFrontier(t *testing.T) {
+	frontier := ParetoSearch(planGrid())
+	want := []PlanPoint{
+		{Model: "private", Scaler: "fixed", Mix: "on-demand", USD: 10, P95: 0.8},
+		{Model: "public", Scaler: "growth-fit", Mix: "reserved-mix", USD: 28, P95: 0.5},
+		{Model: "hybrid", Scaler: "growth-fit", Mix: "on-demand", USD: 45, P95: 0.4},
+	}
+	if !reflect.DeepEqual(frontier, want) {
+		t.Fatalf("frontier = %+v\nwant %+v", frontier, want)
+	}
+}
+
+func TestParetoSearchKeepsDuplicateOutcomes(t *testing.T) {
+	points := []PlanPoint{
+		{Model: "a", USD: 10, P95: 1},
+		{Model: "b", USD: 10, P95: 1},
+		{Model: "c", USD: 20, P95: 2},
+	}
+	frontier := ParetoSearch(points)
+	if len(frontier) != 2 || frontier[0].Model != "a" || frontier[1].Model != "b" {
+		t.Fatalf("duplicate-outcome plans must both survive: %+v", frontier)
+	}
+}
+
+func TestParetoSearchEmpty(t *testing.T) {
+	if f := ParetoSearch(nil); len(f) != 0 {
+		t.Fatalf("empty input gave %+v", f)
+	}
+}
+
+func TestCheapestCompliant(t *testing.T) {
+	grid := planGrid()
+	best, ok := CheapestCompliant(grid, 0.6)
+	if !ok || best.Scaler != "growth-fit" || best.Mix != "reserved-mix" {
+		t.Fatalf("slo 0.6: %+v ok=%v", best, ok)
+	}
+	// A looser SLO admits the cheaper private point.
+	best, ok = CheapestCompliant(grid, 1.0)
+	if !ok || best.Model != "private" {
+		t.Fatalf("slo 1.0: %+v ok=%v", best, ok)
+	}
+	if _, ok := CheapestCompliant(grid, 0.1); ok {
+		t.Fatal("impossible SLO reported compliant plan")
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	grid := planGrid()
+	best, ok := BestUnderBudget(grid, 30)
+	if !ok || best.P95 != 0.5 || best.Mix != "reserved-mix" {
+		t.Fatalf("budget 30: %+v ok=%v", best, ok)
+	}
+	best, ok = BestUnderBudget(grid, 100)
+	if !ok || best.Model != "hybrid" {
+		t.Fatalf("budget 100: %+v ok=%v", best, ok)
+	}
+	if _, ok := BestUnderBudget(grid, 1); ok {
+		t.Fatal("impossible budget reported affordable plan")
+	}
+}
+
+// TestBestUnderBudgetWeaklyMonotone is the unit form of the advisor
+// invariant: raising the budget must never yield a slower
+// recommendation.
+func TestBestUnderBudgetWeaklyMonotone(t *testing.T) {
+	grid := planGrid()
+	prev := -1.0
+	for b := 5.0; b <= 60; b += 5 {
+		best, ok := BestUnderBudget(grid, b)
+		if !ok {
+			continue
+		}
+		if prev >= 0 && best.P95 > prev {
+			t.Fatalf("budget %.0f recommends P95 %.2f, worse than the tighter budget's %.2f",
+				b, best.P95, prev)
+		}
+		prev = best.P95
+	}
+}
+
+func TestSortPlansTotalOrder(t *testing.T) {
+	a := []PlanPoint{
+		{Model: "b", Scaler: "x", Mix: "m", USD: 10, P95: 1},
+		{Model: "a", Scaler: "x", Mix: "m", USD: 10, P95: 1},
+		{Model: "a", Scaler: "x", Mix: "l", USD: 10, P95: 1},
+	}
+	SortPlans(a)
+	if a[0].Mix != "l" || a[1].Model != "a" || a[2].Model != "b" {
+		t.Fatalf("tie-break order wrong: %+v", a)
+	}
+}

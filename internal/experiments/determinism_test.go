@@ -12,16 +12,19 @@ import (
 // render byte-identical artifacts, because every scenario job's RNG
 // streams derive from (seed, job name) and results are collected in
 // submission order. It covers one multi-fidelity table (table1), one
-// DES ablation (table5), one time-series figure (figure2) and the
+// DES ablation (table5), one time-series figure (figure2), the
 // MOOC growth table (table9 — the experiment whose scheduled-scaler
-// row once exposed a map-iteration-order float sum in cloud.VMHours).
+// row once exposed a map-iteration-order float sum in cloud.VMHours)
+// and the forecasting-policy table (table12 — the growth-fit scaler's
+// online fitter runs on its own named timer, which must stay a pure
+// function of (seed, job name)).
 func TestCrossModeDeterminism(t *testing.T) {
 	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs each experiment twice; skipped in -short mode")
 	}
 	const seed = 11
-	for _, id := range []string{"table1", "table5", "figure2", "table9"} {
+	for _, id := range []string{"table1", "table5", "figure2", "table9", "table12"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

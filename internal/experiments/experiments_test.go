@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,8 +28,8 @@ func cell(t *testing.T, tbl *metrics.Table, row, col int) float64 {
 
 func TestRegistryCoversDesignIndex(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21 (11 tables + 10 figures)", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22 (12 tables + 10 figures)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -362,6 +363,56 @@ func TestTable7FederationShape(t *testing.T) {
 	for i := 0; i < tbl.NumRows(); i++ {
 		if saving := cell(t, tbl, i, 5); saving <= 0 {
 			t.Fatalf("member row %d does not save by federating:\n%s", i, tbl)
+		}
+	}
+}
+
+// TestTable12ForecastAcceptance pins the experiment's claims at the
+// golden seed: growth-fit must beat reactive on BOTH rejected mass and
+// $ per served request through the deadline storm, land within 15% of
+// the oracle's VM-hours, and the oracle must hold the best tail. These
+// are the relations the table exists to demonstrate — if a change
+// breaks one, the experiment's story is gone even if the run succeeds.
+func TestTable12ForecastAcceptance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("four deadline-storm DES runs skipped in -short mode")
+	}
+	tbl, err := Table12ForecastPolicies(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4 policies", tbl.NumRows())
+	}
+	type row struct{ p95, rejected, vmHours, perServed float64 }
+	byPolicy := map[string]row{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		byPolicy[tbl.Cell(i, 0)] = row{
+			p95:       cell(t, tbl, i, 1),
+			rejected:  cell(t, tbl, i, 2),
+			vmHours:   cell(t, tbl, i, 4),
+			perServed: cell(t, tbl, i, 5),
+		}
+	}
+	gf, re, or := byPolicy["growth-fit"], byPolicy["reactive"], byPolicy["oracle"]
+	if gf.rejected >= re.rejected {
+		t.Errorf("growth-fit rejected %v, not under reactive's %v:\n%s", gf.rejected, re.rejected, tbl)
+	}
+	if gf.perServed >= re.perServed {
+		t.Errorf("growth-fit $/1k served %v, not under reactive's %v:\n%s", gf.perServed, re.perServed, tbl)
+	}
+	if diff := math.Abs(gf.vmHours-or.vmHours) / or.vmHours; diff > 0.15 {
+		t.Errorf("growth-fit VM-hours %v vs oracle %v — %.1f%% apart, want <= 15%%:\n%s",
+			gf.vmHours, or.vmHours, diff*100, tbl)
+	}
+	for name, r := range byPolicy {
+		if name != "oracle" && r.p95 < or.p95 {
+			t.Errorf("%s P95 %vms beat the oracle's %vms — the yardstick is broken:\n%s",
+				name, r.p95, or.p95, tbl)
+		}
+		if name != "oracle" && r.rejected < or.rejected {
+			t.Errorf("%s rejected %v under the oracle's %v:\n%s", name, r.rejected, or.rejected, tbl)
 		}
 	}
 }

@@ -154,28 +154,27 @@ func Table9GrowthModels(seed uint64, pool *scenario.Pool) (*metrics.Table, error
 	return t, nil
 }
 
-// Figure10DeadlineStorm renders per-5-minute P95 latency through a
-// deadline storm — a live revision lecture's join spike followed by a
-// procrastination ramp into a submission cliff — side by side with
-// figure2's 10x exam flash crowd, both on the public model with the
-// reactive scaler. The storm's build-up is exactly what a reactive
-// policy can ride and the crowd's step function is not.
-func Figure10DeadlineStorm(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
-	stormCfg := scenario.Config{
+// deadlineStorm returns figure10's storm course parameterized by the
+// scaling policy: a live revision lecture's join spike, then a 90-minute
+// procrastination ramp into a submission cliff at 02:30. The shape is
+// shared with table12, which runs the forecasting policies through the
+// identical storm.
+func deadlineStorm(seed uint64, scaler scenario.ScalerKind) scenario.Config {
+	return scenario.Config{
 		Seed:              seed,
 		Kind:              deploy.Public,
 		Students:          desStudents,
 		ReqPerStudentHour: 50,
 		Duration:          3 * time.Hour,
 		Diurnal:           workload.FlatDiurnal(),
-		Scaler:            scenario.ScalerReactive,
+		Scaler:            scaler,
 		Access:            network.UrbanBroadband,
 		// The live revision session's join spike ends before the
-		// procrastination ramp begins: the spike is the step input the
-		// reactive scaler must absorb cold (mirroring the crowd's step),
-		// the ramp the build-up it can ride. Disjoint windows also keep
-		// MaxRate — and with it the bootstrap fleet — at the crowd
-		// track's scale, so the two columns compare like for like.
+		// procrastination ramp begins: the spike is the step input a
+		// reactive scaler must absorb cold (mirroring figure2's crowd
+		// step), the ramp the build-up it can ride. Disjoint windows also
+		// keep MaxRate — and with it the bootstrap fleet — at the crowd
+		// track's scale, so figure10's two columns compare like for like.
 		Joins: []workload.JoinStorm{{
 			Start: 30 * time.Minute, Window: 30 * time.Minute,
 			PeakMult: 6, Decay: 5 * time.Minute, ExamTraffic: true,
@@ -185,6 +184,16 @@ func Figure10DeadlineStorm(seed uint64, pool *scenario.Pool) (*metrics.Table, er
 			PeakMult: 10, Tau: 30 * time.Minute, ExamTraffic: true,
 		}},
 	}
+}
+
+// Figure10DeadlineStorm renders per-5-minute P95 latency through a
+// deadline storm — a live revision lecture's join spike followed by a
+// procrastination ramp into a submission cliff — side by side with
+// figure2's 10x exam flash crowd, both on the public model with the
+// reactive scaler. The storm's build-up is exactly what a reactive
+// policy can ride and the crowd's step function is not.
+func Figure10DeadlineStorm(seed uint64, pool *scenario.Pool) (*metrics.Table, error) {
+	stormCfg := deadlineStorm(seed, scenario.ScalerReactive)
 	runs, err := scenario.NewBatch(seed).
 		Add("deadline-storm", stormCfg).
 		Add("exam-crowd", examDay(seed, deploy.Public, scenario.ScalerReactive)).

@@ -66,6 +66,9 @@ func All() []Experiment {
 		{"table10", "Sharded DES onboarding ramp at 10^5 students", tags("@mooc @growth @des @scaling @sharded"), Table10ShardedRamp},
 		// Hybrid-fidelity experiments (fluid ⇄ DES; see internal/scenario/hybrid.go).
 		{"table11", "Auto-fidelity hybrid on the 500k MOOC course", tags("@mooc @growth @fluid @des @scaling"), Table11HybridCourse},
+		// Forecasting experiments (growth-fit scaler, oracle yardstick;
+		// see internal/scale/growthfit.go).
+		{"table12", "Forecasting policies through the deadline storm", tags("@mooc @storm @des @scaling @cost"), Table12ForecastPolicies},
 	}
 }
 

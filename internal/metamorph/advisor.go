@@ -1,0 +1,304 @@
+package metamorph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"elearncloud/internal/core"
+	"elearncloud/internal/cost"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/sim"
+	"elearncloud/internal/workload"
+)
+
+// This file is the advisor invariant: eladvisor's -forecast
+// recommendation must be a function of the question, not of the
+// incidental knobs used to ask it. The check evaluates a scaled-down
+// plan grid (core.ForecastFrontier) through a growth curve derived
+// from the generated case and asserts three metamorphic relations:
+//
+//   - stability under irrelevant perturbation — re-seeding the
+//     simulation, shifting the diurnal phase by an hour, and toggling
+//     the CDN when egress is not driving the bill must all leave the
+//     recommended (model, scaler, mix) unchanged;
+//   - weak budget monotonicity — walking BestUnderBudget up a budget
+//     ladder over the same evaluated points must never recommend a
+//     slower plan at a looser budget;
+//   - the recommendation must sit on the Pareto frontier of its own
+//     point set (a dominated recommendation means the selection and
+//     the frontier disagree about the same data).
+//
+// Stability is only meaningful when the decision is not a coin flip:
+// when the runner-up plan costs within advisorMargin of the winner,
+// honest simulation noise can flip the argmin and the case is skipped
+// as marginal, the same way the band invariants skip threshold
+// regimes.
+
+// Advisor grid scale-down: the fuzzed case supplies the question's
+// shape (growth kind, demand intensity, CDN posture), but the grid
+// itself runs at a fixed small scale so the 4 grid evaluations × 7
+// simulations per case stay inside the interactive fuzz budget.
+const (
+	advisorMinStudents = 160
+	advisorMaxStudents = 300
+	advisorMinReq      = 20
+	advisorMaxReq      = 30
+	advisorHorizon     = 100 * time.Minute
+	// advisorMargin is the decision-margin gate: the stability clauses
+	// only apply when the runner-up costs at least 10% more than the
+	// winner, so a legitimate near-tie is skipped rather than banded.
+	advisorMargin = 1.10
+	// advisorCDNDelta bounds "egress not binding": if toggling the CDN
+	// moves any plan's bill by more than this fraction, the toggle is a
+	// real cost knob for this case and the CDN clause does not apply.
+	advisorCDNDelta = 0.02
+	// advisorSLOMult derives the P95 SLO from the base evaluation (SLO
+	// = multiple of the best observed P95), so every case has at least
+	// one compliant plan to recommend.
+	advisorSLOMult = 2.0
+)
+
+// advisorDay is the gentle day shape the advisor grid runs under:
+// multipliers within ±12% of flat, so a one-hour phase shift moves the
+// offered-load integral over the horizon by a few percent — enough to
+// perturb the simulation, small against the advisorMargin gate.
+func advisorDay() *workload.DiurnalProfile {
+	return workload.NewDiurnalProfile([24]float64{
+		1.00, 1.05, 1.10, 1.12, 1.10, 1.05,
+		1.00, 0.95, 0.92, 0.90, 0.92, 0.95,
+		1.00, 1.05, 1.10, 1.12, 1.10, 1.05,
+		1.00, 0.95, 0.92, 0.90, 0.95, 1.00,
+	})
+}
+
+// advisorForecast derives the scaled-down forecast question from a
+// generated case: the growth shape and CDN posture come from the case,
+// the scale is clamped to the fuzz budget.
+func advisorForecast(cfg scenario.Config, caseSeed uint64) core.ForecastConfig {
+	pop := float64(cfg.Students)
+	if cfg.Growth != nil {
+		pop = cfg.Growth.Max()
+	}
+	students := clampInt(int(pop), advisorMinStudents, advisorMaxStudents)
+	req := cfg.ReqPerStudentHour
+	if req == 0 {
+		req = 50
+	}
+	req = math.Min(math.Max(req, advisorMinReq), advisorMaxReq)
+
+	start := students / 4
+	var growth *workload.Growth
+	if cfg.Growth != nil && strings.HasPrefix(cfg.Growth.String(), "logistic") {
+		growth = workload.LogisticGrowth(start, students, 40*time.Minute)
+	} else {
+		growth = workload.LinearGrowth(start, students, 50*time.Minute)
+	}
+	return core.ForecastConfig{
+		Seed:              sim.SeedFor(caseSeed, "metamorph/advisor"),
+		Growth:            growth,
+		ReqPerStudentHour: req,
+		Duration:          advisorHorizon,
+		Diurnal:           advisorDay(),
+		EnableCDN:         cfg.EnableCDN,
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// planKey identifies a plan across evaluations: the knob settings, not
+// the simulated outcome.
+func planKey(p cost.PlanPoint) string {
+	return p.Model + "/" + p.Scaler + "/" + p.Mix
+}
+
+// checkAdvisor evaluates the forecast grid four times — base, re-seeded,
+// phase-shifted, CDN-toggled — and checks the stability, monotonicity
+// and frontier-membership relations described above.
+func checkAdvisor(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
+	fc := advisorForecast(cfg, caseSeed)
+	base, err := core.ForecastFrontier(fc)
+	if err != nil {
+		return &Violation{"advisor", "base grid failed: " + err.Error()}, ""
+	}
+	slo := minP95(base) * advisorSLOMult
+	rec, ok := cost.CheapestCompliant(base, slo)
+	if !ok {
+		return &Violation{"advisor", fmt.Sprintf("no plan meets the derived SLO %.3fs — CheapestCompliant disagrees with minP95", slo)}, ""
+	}
+
+	// Frontier membership: the cheapest compliant plan is nondominated
+	// by construction (anything dominating it would be a cheaper, at
+	// least as fast, compliant plan), so it must appear on the frontier
+	// of its own point set.
+	onFrontier := false
+	for _, p := range cost.ParetoSearch(base) {
+		if planKey(p) == planKey(rec) {
+			onFrontier = true
+			break
+		}
+	}
+	if !onFrontier {
+		return &Violation{"advisor",
+			fmt.Sprintf("recommended plan %s is not on the Pareto frontier of its own grid", planKey(rec))}, ""
+	}
+
+	// Budget monotonicity: walking the budget up through every evaluated
+	// price, the recommended P95 must never get worse.
+	if v := checkBudgetLadder(base); v != nil {
+		return v, ""
+	}
+
+	// Decision-margin gate for the stability clauses.
+	margin := runnerUpMargin(base, rec, slo)
+	if margin < advisorMargin {
+		return nil, fmt.Sprintf("decision margin %.3f below %.2f — a near-tie is legitimately perturbation-sensitive", margin, advisorMargin)
+	}
+
+	// Seed perturbation: a different simulation seed asks the same
+	// question of the same physics.
+	alt := fc
+	alt.Seed = sim.SeedFor(caseSeed, "metamorph/advisor/alt")
+	if v, err := stableUnder(alt, slo, rec, "re-seeding the simulation"); err != nil {
+		return &Violation{"advisor", "re-seeded grid failed: " + err.Error()}, ""
+	} else if v != nil {
+		return v, ""
+	}
+
+	// Diurnal phase shift: the same day shape an hour later is the same
+	// institution in a different timezone.
+	shifted := fc
+	shifted.Diurnal = workload.SuperposeTimezones([]workload.TimezoneWave{
+		{Shift: time.Hour, Weight: 1, Profile: advisorDay()},
+	})
+	if v, err := stableUnder(shifted, slo, rec, "a one-hour diurnal phase shift"); err != nil {
+		return &Violation{"advisor", "phase-shifted grid failed: " + err.Error()}, ""
+	} else if v != nil {
+		return v, ""
+	}
+
+	// CDN toggle, only where egress is not binding: if flipping the CDN
+	// moves any plan's bill beyond advisorCDNDelta, the toggle is a real
+	// knob for this case and stability is not owed.
+	toggled := fc
+	toggled.EnableCDN = !fc.EnableCDN
+	tPoints, err := core.ForecastFrontier(toggled)
+	if err != nil {
+		return &Violation{"advisor", "CDN-toggled grid failed: " + err.Error()}, ""
+	}
+	if maxUSDShift(base, tPoints) <= advisorCDNDelta {
+		tRec, ok := cost.CheapestCompliant(tPoints, slo)
+		if !ok || planKey(tRec) != planKey(rec) {
+			got := "no compliant plan"
+			if ok {
+				got = planKey(tRec)
+			}
+			return &Violation{"advisor",
+				fmt.Sprintf("toggling the CDN (egress not binding, max bill shift ≤ %.1f%%) moved the recommendation from %s to %s",
+					advisorCDNDelta*100, planKey(rec), got)}, ""
+		}
+	}
+	return nil, ""
+}
+
+// stableUnder re-evaluates the grid under a perturbed config and
+// reports a violation if the recommendation moved.
+func stableUnder(fc core.ForecastConfig, slo float64, want cost.PlanPoint, perturbation string) (*Violation, error) {
+	points, err := core.ForecastFrontier(fc)
+	if err != nil {
+		return nil, err
+	}
+	got, ok := cost.CheapestCompliant(points, slo)
+	if !ok || planKey(got) != planKey(want) {
+		gotKey := "no compliant plan"
+		if ok {
+			gotKey = planKey(got)
+		}
+		return &Violation{"advisor",
+			fmt.Sprintf("%s moved the recommendation from %s to %s", perturbation, planKey(want), gotKey)}, nil
+	}
+	return nil, nil
+}
+
+// checkBudgetLadder: over one evaluated point set, raising the budget
+// through every observed price must never recommend a slower plan.
+func checkBudgetLadder(points []cost.PlanPoint) *Violation {
+	budgets := make([]float64, 0, len(points))
+	for _, p := range points {
+		budgets = append(budgets, p.USD)
+	}
+	sort.Float64s(budgets)
+	prev := math.Inf(-1)
+	prevBudget := 0.0
+	for _, b := range budgets {
+		best, ok := cost.BestUnderBudget(points, b)
+		if !ok {
+			continue
+		}
+		if prev > math.Inf(-1) && best.P95 > prev {
+			return &Violation{"advisor",
+				fmt.Sprintf("budget $%.2f recommends P95 %.3fs, slower than the tighter budget $%.2f's %.3fs — BestUnderBudget is not weakly monotone",
+					b, best.P95, prevBudget, prev)}
+		}
+		prev, prevBudget = best.P95, b
+	}
+	return nil
+}
+
+// runnerUpMargin returns how much more the cheapest rival compliant
+// plan costs relative to the winner (+Inf when the winner is the only
+// compliant plan). Rivals with exactly the winner's (USD, P95) are not
+// rivals: a purchase mix that optimized to zero reserved slots prices
+// identically to on-demand by construction, shifts identically under
+// any perturbation, and the deterministic SortPlans tie-break always
+// picks the same label among exact ties.
+func runnerUpMargin(points []cost.PlanPoint, rec cost.PlanPoint, slo float64) float64 {
+	best := math.Inf(1)
+	for _, p := range points {
+		if p.P95 <= slo && planKey(p) != planKey(rec) &&
+			!(p.USD == rec.USD && p.P95 == rec.P95) && p.USD < best {
+			best = p.USD
+		}
+	}
+	if math.IsInf(best, 1) || rec.USD <= 0 {
+		return math.Inf(1)
+	}
+	return best / rec.USD
+}
+
+// maxUSDShift returns the largest relative bill change between two
+// evaluations of the same grid, matched by plan identity.
+func maxUSDShift(a, b []cost.PlanPoint) float64 {
+	byKey := make(map[string]float64, len(a))
+	for _, p := range a {
+		byKey[planKey(p)] = p.USD
+	}
+	shift := 0.0
+	for _, p := range b {
+		base, ok := byKey[planKey(p)]
+		if !ok || base <= 0 {
+			continue
+		}
+		shift = math.Max(shift, math.Abs(p.USD-base)/base)
+	}
+	return shift
+}
+
+// minP95 returns the fastest tail on the grid.
+func minP95(points []cost.PlanPoint) float64 {
+	best := math.Inf(1)
+	for _, p := range points {
+		best = math.Min(best, p.P95)
+	}
+	return best
+}

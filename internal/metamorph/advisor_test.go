@@ -1,0 +1,138 @@
+package metamorph
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"elearncloud/internal/cost"
+	"elearncloud/internal/scenario"
+	"elearncloud/internal/workload"
+)
+
+// TestAdvisorForecastDerivation: the scaled-down question preserves the
+// case's growth shape and CDN posture while clamping scale to the fuzz
+// budget.
+func TestAdvisorForecastDerivation(t *testing.T) {
+	mooc := scenario.Config{
+		Growth:            workload.LogisticGrowth(2000, 50000, time.Hour),
+		ReqPerStudentHour: 80,
+		EnableCDN:         true,
+	}
+	fc := advisorForecast(mooc, 7)
+	if !strings.HasPrefix(fc.Growth.String(), "logistic") {
+		t.Errorf("logistic case derived %s", fc.Growth.String())
+	}
+	if fc.Growth.Max() != advisorMaxStudents {
+		t.Errorf("MOOC population clamped to %.0f, want %d", fc.Growth.Max(), advisorMaxStudents)
+	}
+	if fc.ReqPerStudentHour != advisorMaxReq {
+		t.Errorf("req clamped to %.0f, want %d", fc.ReqPerStudentHour, advisorMaxReq)
+	}
+	if !fc.EnableCDN {
+		t.Error("CDN posture not carried into the question")
+	}
+
+	tiny := scenario.Config{Students: 30, ReqPerStudentHour: 5}
+	fc = advisorForecast(tiny, 7)
+	if !strings.HasPrefix(fc.Growth.String(), "linear") {
+		t.Errorf("growth-free case derived %s, want linear", fc.Growth.String())
+	}
+	if fc.Growth.Max() != advisorMinStudents {
+		t.Errorf("tiny population clamped to %.0f, want %d", fc.Growth.Max(), advisorMinStudents)
+	}
+	if fc.ReqPerStudentHour != advisorMinReq {
+		t.Errorf("req clamped to %.0f, want %d", fc.ReqPerStudentHour, advisorMinReq)
+	}
+	if fc.Seed == advisorForecast(tiny, 8).Seed {
+		t.Error("case seeds 7 and 8 derived the same grid seed")
+	}
+}
+
+// TestAdvisorHelpers pins the selection arithmetic on synthetic points.
+func TestAdvisorHelpers(t *testing.T) {
+	points := []cost.PlanPoint{
+		{Model: "private", Scaler: "fixed", Mix: "on-demand", USD: 10, P95: 0.8},
+		{Model: "public", Scaler: "growth-fit", Mix: "reserved-mix", USD: 20, P95: 0.5},
+		{Model: "hybrid", Scaler: "reactive", Mix: "on-demand", USD: 40, P95: 1.5},
+	}
+	if got := minP95(points); got != 0.5 {
+		t.Errorf("minP95 = %v, want 0.5", got)
+	}
+	rec, _ := cost.CheapestCompliant(points, 1.0)
+	if m := runnerUpMargin(points, rec, 1.0); m != 2.0 {
+		t.Errorf("runnerUpMargin = %v, want 2.0 (the $20 rival over the $10 winner)", m)
+	}
+	// With every rival excluded by the SLO, the winner stands alone.
+	if m := runnerUpMargin(points, rec, 0.4); !math.IsInf(m, 1) {
+		t.Errorf("sole-compliant margin = %v, want +Inf", m)
+	}
+	// The first advisor sweeps found every case skipping at margin
+	// exactly 1.000: a reserved mix that optimized to zero slots prices
+	// identically to on-demand, and the twin label masqueraded as a
+	// rival. An exact (USD, P95) tie must not count as a runner-up.
+	twin := append([]cost.PlanPoint{
+		{Model: "private", Scaler: "fixed", Mix: "all-reserved", USD: 10, P95: 0.8},
+	}, points...)
+	if m := runnerUpMargin(twin, rec, 1.0); m != 2.0 {
+		t.Errorf("margin with an exact-tie twin = %v, want 2.0 (the twin is not a rival)", m)
+	}
+	if v := checkBudgetLadder(points); v != nil {
+		t.Errorf("budget ladder on a healthy grid: %s", v.Detail)
+	}
+
+	moved := []cost.PlanPoint{
+		{Model: "private", Scaler: "fixed", Mix: "on-demand", USD: 10.1, P95: 0.8},
+		{Model: "public", Scaler: "growth-fit", Mix: "reserved-mix", USD: 26, P95: 0.5},
+	}
+	if got := maxUSDShift(points, moved); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("maxUSDShift = %v, want 0.3 (the 20→26 plan)", got)
+	}
+}
+
+// TestAdvisorHolds: the full four-grid check passes on a generated
+// campus case — the shape the fuzz lane runs it on.
+func TestAdvisorHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 28 request-level scenarios")
+	}
+	t.Parallel()
+	c := FindFamilyOrDie(t, "campus").Case(CaseSeed(9, "campus", 0))
+	v, skip := checkAdvisor(c.Cfg, c.Seed)
+	if v != nil {
+		t.Errorf("advisor: %s", v.Detail)
+	}
+	// A margin skip is legitimate; anything else here means the derived
+	// grid stopped producing a decisive recommendation.
+	if skip != "" && !strings.Contains(skip, "margin") {
+		t.Errorf("unexpected skip: %q", skip)
+	}
+}
+
+// TestBandResourceViolation pins the resource bands and their
+// quantization floors on synthetic populations.
+func TestBandResourceViolation(t *testing.T) {
+	healthyVM := []float64{8.0, 8.5, 9.0, 8.2}
+	healthyEg := []float64{1.0, 1.1, 0.9, 1.05}
+	if v := bandResourceViolation("des", healthyVM, healthyEg); v != nil {
+		t.Errorf("healthy population flagged: %s", v.Detail)
+	}
+	// A VM-hours excursion beyond 40%+0.25h fires.
+	if v := bandResourceViolation("des", []float64{8.0, 8.5, 14.0, 8.2}, healthyEg); v == nil {
+		t.Error("VM-hours excursion 14 vs median ~8.2 not flagged")
+	} else if !strings.Contains(v.Detail, "VM-hours") {
+		t.Errorf("wrong metric named: %s", v.Detail)
+	}
+	// An egress excursion beyond 30%+0.02GB fires.
+	if v := bandResourceViolation("hybrid", healthyVM, []float64{1.0, 1.1, 2.0, 1.05}); v == nil {
+		t.Error("egress excursion 2.0 vs median ~1.05 not flagged")
+	} else if !strings.Contains(v.Detail, "egress") {
+		t.Errorf("wrong metric named: %s", v.Detail)
+	}
+	// Below the floors the same relative spread is quantization, not
+	// physics: a 1-server fleet blinking for 20 minutes, one video.
+	if v := bandResourceViolation("des", []float64{0.3, 0.8, 0.3}, []float64{0.01, 0.03, 0.01}); v != nil {
+		t.Errorf("sub-floor spread flagged: %s", v.Detail)
+	}
+}

@@ -89,6 +89,7 @@ func Invariants() []Invariant {
 		{Name: "shard-determinism", Check: checkShardDeterminism},
 		{Name: "hybrid-determinism", Check: checkHybridDeterminism},
 		{Name: "hybrid-agreement", Check: checkHybridAgreement},
+		{Name: "advisor", Check: checkAdvisor},
 		{Name: "seed-band", Band: true, Check: checkSeedBand},
 	}
 }
@@ -803,6 +804,35 @@ const (
 	bandStableP95  = 1.0
 )
 
+// Resource bands: VM-hours and egress joined the banded metrics so a
+// seed-chaotic scaler or transfer path shows up even when service
+// stays healthy. Both are relative bands around the population median
+// with an absolute slack, and each has a floor below which the metric
+// is dominated by quantization rather than physics: a fleet under
+// bandVMFloor VM-hours moves in whole-server steps that are a large
+// fraction of the total (scale-up timing shifts one server for a few
+// minutes and the ratio swings), and egress under bandEgressFloor GB is
+// a handful of Pareto-tailed video objects whose sizes honestly swing
+// across seeds. The tolerances are data-driven from the widening
+// sweeps (run seeds 1 and 3): across every population the service
+// gates admit, VM-hours deviation from the median peaked at 0.118
+// (a mooc reactive fleet) and egress at 0.171 (storm seed
+// 0xc64b3058f820bb6b, the widest in-band population — pinned passing
+// in TestSeedBandRegimeGates), so each band sits at roughly twice the
+// worst honest dispersion observed. The big egress swings the sweeps
+// found (0.57 at storm seed 0x80f7a36ce9c50d64, 0.30 at
+// 0x922cac3419b47d77) all rode last-mile outages — zero-byte Offline
+// arrivals gut the transfer volume — and the existing offline-share
+// regime gate already exempts exactly those populations.
+const (
+	bandVMFloor     = 2.0
+	bandVMTol       = 0.25
+	bandVMSlack     = 0.25
+	bandEgressFloor = 0.05
+	bandEgressTol   = 0.30
+	bandEgressSlack = 0.02
+)
+
 // bandFeasible bounds the configs the cross-seed invariant runs: it
 // executes bandSeeds full request-level runs (twice when the hybrid
 // path applies), so the per-run budget sits an order of magnitude
@@ -825,10 +855,12 @@ func bandFeasible(cfg scenario.Config) bool {
 // checkSeedBand: the physics must be statistically stable in the seed.
 // Across bandSeeds independent seeds of the same config, the served
 // fraction of arrivals stays inside an absolute band around the
-// population median and P95 latency inside a multiplicative band — for
-// the pure-DES path, and for the hybrid path when the planner opens
-// windows. A single excursion means seed-chaotic physics (a rare-branch
-// bug), which golden tests at one pinned seed can never see.
+// population median, P95 latency inside a multiplicative band, and the
+// resource metrics — total VM-hours and egress volume — inside relative
+// bands (bandResourceViolation) — for the pure-DES path, and for the
+// hybrid path when the planner opens windows. A single excursion means
+// seed-chaotic physics (a rare-branch bug), which golden tests at one
+// pinned seed can never see.
 func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 	if !bandFeasible(cfg) {
 		return nil, "config above the cross-seed statistical budget"
@@ -836,6 +868,8 @@ func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 
 	fracs := make([]float64, 0, bandSeeds)
 	p95s := make([]float64, 0, bandSeeds)
+	vmhs := make([]float64, 0, bandSeeds)
+	egs := make([]float64, 0, bandSeeds)
 	maxOffline := 0.0
 	for i := 0; i < bandSeeds; i++ {
 		sub := cfg
@@ -850,12 +884,17 @@ func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 		}
 		fracs = append(fracs, float64(r.Served)/float64(total))
 		p95s = append(p95s, r.Latency.P95())
+		vmhs = append(vmhs, r.VMHoursPublic+r.VMHoursPrivate)
+		egs = append(egs, r.EgressGB)
 		maxOffline = math.Max(maxOffline, float64(r.Offline)/float64(total))
 	}
 	if reason := bandRegime("des", fracs, p95s, maxOffline); reason != "" {
 		return nil, reason
 	}
 	if v := bandViolation("des", fracs, p95s); v != nil {
+		return v, ""
+	}
+	if v := bandResourceViolation("des", vmhs, egs); v != nil {
 		return v, ""
 	}
 
@@ -871,6 +910,7 @@ func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 	}
 	pool := scenario.NewPool(2)
 	fracs, p95s = fracs[:0], p95s[:0]
+	vmhs, egs = vmhs[:0], egs[:0]
 	maxOffline = 0
 	for i := 0; i < bandSeeds; i++ {
 		sub := cfg
@@ -885,6 +925,8 @@ func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 		}
 		fracs = append(fracs, float64(r.Served)/float64(total))
 		p95s = append(p95s, r.Latency.P95())
+		vmhs = append(vmhs, r.VMHoursPublic+r.VMHoursPrivate)
+		egs = append(egs, r.EgressGB)
 		maxOffline = math.Max(maxOffline, float64(r.Offline)/float64(total))
 	}
 	if reason := bandRegime("hybrid", fracs, p95s, maxOffline); reason != "" {
@@ -893,7 +935,36 @@ func checkSeedBand(cfg scenario.Config, caseSeed uint64) (*Violation, string) {
 	if v := bandViolation("hybrid", fracs, p95s); v != nil {
 		return v, ""
 	}
+	if v := bandResourceViolation("hybrid", vmhs, egs); v != nil {
+		return v, ""
+	}
 	return nil, ""
+}
+
+// bandResourceViolation checks the resource metrics' seed populations:
+// total VM-hours and egress volume each stay inside a relative band
+// around the population median, gated by the quantization floors
+// (bandVMFloor, bandEgressFloor) documented with the constants.
+func bandResourceViolation(path string, vmhs, egs []float64) *Violation {
+	if vm := median(vmhs); vm >= bandVMFloor {
+		for i, v := range vmhs {
+			if math.Abs(v-vm) > bandVMTol*vm+bandVMSlack {
+				return &Violation{"seed-band",
+					fmt.Sprintf("%s path: VM-hours %.2f at band seed %d strays from the %d-seed median %.2f beyond ±(%.0f%%+%.2fh)",
+						path, v, i, len(vmhs), vm, bandVMTol*100, bandVMSlack)}
+			}
+		}
+	}
+	if em := median(egs); em >= bandEgressFloor {
+		for i, e := range egs {
+			if math.Abs(e-em) > bandEgressTol*em+bandEgressSlack {
+				return &Violation{"seed-band",
+					fmt.Sprintf("%s path: egress %.3f GB at band seed %d strays from the %d-seed median %.3f GB beyond ±(%.0f%%+%.2fGB)",
+						path, e, i, len(egs), em, bandEgressTol*100, bandEgressSlack)}
+			}
+		}
+	}
+	return nil
 }
 
 // bandRegime reports why a seed population sits outside the stable

@@ -20,7 +20,7 @@ func TestInvariantsRegistry(t *testing.T) {
 		"growth-monotone", "envelope-bound", "superpose-bound",
 		"parallel-determinism", "capacity-monotone", "cross-fidelity",
 		"shard-determinism", "hybrid-determinism", "hybrid-agreement",
-		"seed-band",
+		"advisor", "seed-band",
 	}
 	invs := Invariants()
 	if len(invs) != len(want) {
@@ -314,6 +314,12 @@ func TestSeedBandRegimeGates(t *testing.T) {
 	}{
 		{"storm", 0xe381ddf4f0539593}, // tail collapse, median P95 2.1s
 		{"chaos", 0x7a4bb6d0a24761f2}, // rural-DSL outage bimodality
+		// PR 10's resource-band sweep: egress deviation 0.57 around a
+		// 1.4 GB median — heavy-tailed video objects on a flaky last
+		// mile. The offline-share gate must keep classifying it as
+		// outage bimodality now that egress itself is banded (seed
+		// 0x922cac3419b47d77 is the same shape at 82 GB).
+		{"storm", 0x80f7a36ce9c50d64},
 	} {
 		t.Run(fmt.Sprintf("%s-%#x", tc.family, tc.seed), func(t *testing.T) {
 			c := FindFamilyOrDie(t, tc.family).Case(tc.seed)
@@ -326,6 +332,20 @@ func TestSeedBandRegimeGates(t *testing.T) {
 			}
 		})
 	}
+	// The widest population the resource bands must accommodate, not
+	// exempt: storm seed 0xc64b3058f820bb6b runs stable service with
+	// egress deviation 0.171 and VM-hours deviation 0.087 — an honest
+	// in-band pass that would flag first if the tolerances over-tighten.
+	t.Run("widest-in-band", func(t *testing.T) {
+		c := FindFamilyOrDie(t, "storm").Case(0xc64b3058f820bb6b)
+		v, skip := checkSeedBand(c.Cfg, c.Seed)
+		if v != nil {
+			t.Errorf("widest in-band population now violates: %s", v.Detail)
+		}
+		if skip != "" {
+			t.Errorf("widest in-band population now gated: %s", skip)
+		}
+	})
 }
 
 // TestBandRegime pins the gate thresholds on synthetic populations.

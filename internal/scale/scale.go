@@ -96,8 +96,9 @@ func (c *ReactiveConfig) defaults() {
 // Reactive is a threshold autoscaler: scale out fast when hot, scale in
 // slowly when cold — the classic public-cloud control loop.
 type Reactive struct {
-	target Target
-	cfg    ReactiveConfig
+	target       Target
+	cfg          ReactiveConfig
+	lastScaleOut sim.Time
 }
 
 // NewReactive builds a reactive scaler around target.
@@ -106,7 +107,7 @@ func NewReactive(target Target, cfg ReactiveConfig) *Reactive {
 		panic("scale: NewReactive with nil target")
 	}
 	cfg.defaults()
-	return &Reactive{target: target, cfg: cfg}
+	return &Reactive{target: target, cfg: cfg, lastScaleOut: -1 << 60}
 }
 
 // Name implements Autoscaler.
@@ -114,21 +115,25 @@ func (r *Reactive) Name() string { return "reactive" }
 
 // Start implements Autoscaler.
 func (r *Reactive) Start(eng *sim.Engine) func() {
-	var lastScaleOut sim.Time = -1 << 60
-	return eng.Every(r.cfg.Interval, "scale/reactive", func() {
-		load := r.target.Load()
-		cur := r.target.Desired()
-		switch {
-		case load > r.cfg.UpThreshold:
-			if eng.Now()-lastScaleOut < r.cfg.Cooldown {
-				return
-			}
-			r.target.ScaleTo(clamp(cur+r.cfg.Step, r.cfg.Min, r.cfg.Max))
-			lastScaleOut = eng.Now()
-		case load < r.cfg.DownThreshold && cur > r.cfg.Min:
-			r.target.ScaleTo(clamp(cur-1, r.cfg.Min, r.cfg.Max))
+	return eng.Every(r.cfg.Interval, "scale/reactive", func() { r.tick(eng) })
+}
+
+// tick is one control decision. GrowthFit delegates here verbatim while
+// its fit is unstable, which is what makes the fallback contract
+// byte-identical to a plain Reactive run.
+func (r *Reactive) tick(eng *sim.Engine) {
+	load := r.target.Load()
+	cur := r.target.Desired()
+	switch {
+	case load > r.cfg.UpThreshold:
+		if eng.Now()-r.lastScaleOut < r.cfg.Cooldown {
+			return
 		}
-	})
+		r.target.ScaleTo(clamp(cur+r.cfg.Step, r.cfg.Min, r.cfg.Max))
+		r.lastScaleOut = eng.Now()
+	case load < r.cfg.DownThreshold && cur > r.cfg.Min:
+		r.target.ScaleTo(clamp(cur-1, r.cfg.Min, r.cfg.Max))
+	}
 }
 
 // Scheduled scales to a time-of-day plan: capacity follows the timetable

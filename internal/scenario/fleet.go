@@ -49,6 +49,14 @@ func (f *fleet) Peak() int { return f.peak }
 // Load implements scale.Target.
 func (f *fleet) Load() float64 { return f.cluster.Load() }
 
+// Arrivals implements scale.ArrivalMeter: the cumulative request count
+// the cluster has seen — every arrival either completed, was rejected,
+// or is still in flight, so the sum is monotone and survives
+// saturation, which is what the growth fitter needs from it.
+func (f *fleet) Arrivals() uint64 {
+	return f.cluster.Served() + f.cluster.Rejected() + uint64(f.cluster.Active())
+}
+
 // ScaleTo implements scale.Target: grows by provisioning, shrinks by
 // gracefully retiring the least-loaded newest servers. Growth stops
 // silently at datacenter capacity (the private-cloud reality).

@@ -129,6 +129,7 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	pubCluster := lms.NewCluster("public")
 	privCluster := lms.NewCluster("private")
 	var pubFleet, privFleet *fleet
+	var growthFit *scale.GrowthFit
 	var stops []func()
 
 	maxPublic := cfg.MaxPublicServers
@@ -178,9 +179,11 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 		// The bootstrap size is also the scale-in floor: production
 		// fleets never drain below their baseline, or the first spike
 		// after a quiet night pays the full boot lag.
-		if stop := startScaler(eng, cfg, meanSvc, pubFleet, initial, maxPublic, share); stop != nil {
+		scaler, stop := startScaler(eng, cfg, meanSvc, pubFleet, initial, maxPublic, share)
+		if stop != nil {
 			stops = append(stops, stop)
 		}
+		growthFit, _ = scaler.(*scale.GrowthFit)
 	}
 	if dep.PrivateDC != nil {
 		privFleet = newFleet(eng, dep.PrivateDC, privCluster, dep.PrivateSpec, 0)
@@ -469,6 +472,16 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	}
 
 	res.Events = eng.Fired()
+	if growthFit != nil {
+		// Prefer the last stable fit: a storm's decay phase destabilizes
+		// the trailing window, so the end-of-run Fit() rarely describes
+		// what the policy actually provisioned from.
+		fit := growthFit.LastStable()
+		if !fit.Stable {
+			fit = growthFit.Fit()
+		}
+		res.Fit = &fit
+	}
 
 	if win != nil {
 		// The requests still in flight at the closing seam are handed
@@ -488,15 +501,15 @@ func runShard(cfg Config, sc *shardCtx) (*Result, error) {
 	return res, nil
 }
 
-// startScaler attaches the configured autoscaler to the elastic fleet and
-// returns its stop function (nil for the fixed policy). min is the
-// scale-in floor (the bootstrap size); share scales the scheduled plan's
-// timetable rate down to this shard's slice of the population (exactly
-// 1.0 for unsharded runs).
-func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Target, min, maxPublic int, share float64) func() {
+// startScaler attaches the configured autoscaler to the elastic fleet
+// and returns it plus its stop function (both nil for the fixed
+// policy). min is the scale-in floor (the bootstrap size); share scales
+// the scheduled/oracle plan's rate down to this shard's slice of the
+// population (exactly 1.0 for unsharded runs).
+func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Target, min, maxPublic int, share float64) (scale.Autoscaler, func()) {
 	switch cfg.Scaler {
 	case ScalerReactive:
-		return scale.NewReactive(target, scale.ReactiveConfig{
+		s := scale.NewReactive(target, scale.ReactiveConfig{
 			Interval:      time.Minute,
 			UpThreshold:   6,
 			DownThreshold: 1.5,
@@ -504,7 +517,8 @@ func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Targ
 			Min:           min,
 			Max:           maxPublic,
 			Cooldown:      2 * time.Minute,
-		}).Start(eng)
+		})
+		return s, s.Start(eng)
 	case ScalerScheduled:
 		// The timetable knows the diurnal/calendar shape but not flash
 		// crowds, enrollment growth or deadline storms — a scheduled
@@ -517,22 +531,56 @@ func startScaler(eng *sim.Engine, cfg Config, meanSvc float64, target scale.Targ
 			Calendar:          cfg.Calendar,
 		})
 		if err != nil {
-			return nil
+			return nil, nil
 		}
 		plan := func(tod time.Duration) int {
 			return deploy.ServersForPeak(planGen.Rate(tod)*share, meanSvc, cfg.TargetUtil) + 1
 		}
-		return scale.NewScheduled(target, plan, 5*time.Minute, 1, maxPublic).Start(eng)
+		s := scale.NewScheduled(target, plan, 5*time.Minute, 1, maxPublic)
+		return s, s.Start(eng)
 	case ScalerPredictive:
-		return scale.NewPredictive(target, scale.PredictiveConfig{
+		s := scale.NewPredictive(target, scale.PredictiveConfig{
 			Interval:  time.Minute,
 			Lead:      5 * time.Minute,
 			PerServer: 4,
 			Min:       min,
 			Max:       maxPublic,
-		}).Start(eng)
+		})
+		return s, s.Start(eng)
+	case ScalerGrowthFit:
+		// Lead = one VM boot (bootGrace covers the fleet's boot
+		// distribution) plus a 5-minute guard, so projected capacity is
+		// accepting before the projected demand lands.
+		s := scale.NewGrowthFit(target, scale.GrowthFitConfig{
+			Interval:    time.Minute,
+			Lead:        bootGrace + 5*time.Minute,
+			MeanService: meanSvc,
+			Util:        cfg.TargetUtil,
+			Min:         min,
+			Max:         maxPublic,
+			Fallback: scale.ReactiveConfig{
+				UpThreshold:   6,
+				DownThreshold: 1.5,
+				Step:          4,
+				Cooldown:      2 * time.Minute,
+			},
+		})
+		return s, s.Start(eng)
+	case ScalerOracle:
+		// The oracle is scheduled from the true curve: the full
+		// generator, growth and storms included — everything the
+		// scheduled policy's timetable deliberately cannot see.
+		planGen, err := genFor(cfg)
+		if err != nil {
+			return nil, nil
+		}
+		plan := func(at time.Duration) int {
+			return deploy.ServersForPeak(planGen.Rate(at)*share, meanSvc, cfg.TargetUtil) + 1
+		}
+		s := scale.NewOracle(target, plan, time.Minute, bootGrace+5*time.Minute, min, maxPublic)
+		return s, s.Start(eng)
 	default:
-		return nil
+		return nil, nil
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"elearncloud/internal/lms"
 	"elearncloud/internal/metrics"
 	"elearncloud/internal/network"
+	"elearncloud/internal/scale"
 	"elearncloud/internal/security"
 	"elearncloud/internal/workload"
 )
@@ -23,6 +24,14 @@ const (
 	ScalerReactive
 	ScalerScheduled
 	ScalerPredictive
+	// ScalerGrowthFit fits the demand curve online (scale.GrowthFit) and
+	// provisions ahead of the projected cliff, reactive until the fit
+	// stabilizes.
+	ScalerGrowthFit
+	// ScalerOracle provisions from the true workload curve, storms
+	// included (scale.Oracle) — the yardstick forecasting policies are
+	// judged against.
+	ScalerOracle
 )
 
 // String returns the policy name.
@@ -36,6 +45,10 @@ func (k ScalerKind) String() string {
 		return "scheduled"
 	case ScalerPredictive:
 		return "predictive"
+	case ScalerGrowthFit:
+		return "growth-fit"
+	case ScalerOracle:
+		return "oracle"
 	default:
 		return fmt.Sprintf("ScalerKind(%d)", int(k))
 	}
@@ -259,6 +272,12 @@ type Result struct {
 	// HybridRun; their sum there is the full horizon.
 	FluidSimHours float64
 	DESSimHours   float64
+
+	// Fit is the growth-fitting scaler's final fit report (nil unless
+	// the run used ScalerGrowthFit) — the shape, parameters and residual
+	// the policy was acting on when the horizon ended, surfaced for
+	// experiment notes and tests.
+	Fit *scale.FitReport
 
 	// Cost is the itemized bill for the run.
 	Cost cost.Report
