@@ -151,12 +151,14 @@ func runForecast(growthKind string, from, to int, over, horizon time.Duration, s
 	if best, ok := cost.CheapestCompliant(points, sloMillis/1000); ok {
 		fmt.Printf("cheapest P95-compliant plan (SLO %.0fms): %s with the %s scaler, %s purchase mix — $%.2f over the horizon at %s P95\n",
 			sloMillis, best.Model, best.Scaler, best.Mix, best.USD, metrics.FmtMillis(best.P95))
-	} else {
+	} else if len(frontier) > 0 {
 		// The frontier is sorted cheapest-first, so its last point is the
 		// fastest anything on the grid achieved.
 		fast := frontier[len(frontier)-1]
 		fmt.Printf("no evaluated plan meets the %.0fms P95 SLO; the frontier's fastest point is %s, %s at %s\n",
 			sloMillis, fast.Model, fast.Scaler, metrics.FmtMillis(fast.P95))
+	} else {
+		fmt.Println("no plans evaluated")
 	}
 	if budget > 0 {
 		if best, ok := cost.BestUnderBudget(points, budget); ok {

@@ -134,7 +134,7 @@ func ForecastFrontier(cfg ForecastConfig) ([]cost.PlanPoint, error) {
 	// purchase knob is invisible to the queue.
 	for _, sk := range forecastScalers() {
 		res := runs.Result(deploy.Public.String() + "/" + sk.String())
-		rank := rankHoursFromServers(res.Servers)
+		rank := billedRankHours(res, rates.Public)
 		base := point(deploy.Public, sk, res)
 		nonCompute := res.Cost.Total() - res.Cost.Compute
 		for _, m := range []struct {
@@ -161,18 +161,51 @@ func ForecastFrontier(cfg ForecastConfig) ([]cost.PlanPoint, error) {
 	return points, nil
 }
 
-// rankHoursFromServers converts the minute-sampled fleet-size series
-// into a utilization duration curve: rank[k] is how many hours at least
-// k+1 servers were running — the shape OptimizeReservedMix prices.
+// billedRankHours converts the sampled fleet-size series into a
+// utilization duration curve — rank[k] is how many hours at least k+1
+// servers were running, the shape OptimizeReservedMix prices — and
+// normalizes it so that pricing the whole curve on-demand reproduces the
+// run's billed compute exactly. The normalization keeps the frontier on
+// one pricing method: without it the sampled reconstruction diverges
+// from the continuously-integrated bill (sampling granularity, boot
+// edges), and the public rows would be priced differently from the
+// hybrid/private rows that use res.Cost.Total() directly.
+func billedRankHours(res *scenario.Result, p cost.PublicRates) []float64 {
+	rank := rankHoursFromServers(res.Servers)
+	if od := cost.AllOnDemandMix(rank).ComputeUSD(p); od > 0 && res.Cost.Compute > 0 {
+		scale := res.Cost.Compute / od
+		for k := range rank {
+			rank[k] *= scale
+		}
+	}
+	return rank
+}
+
+// rankHoursFromServers builds the raw duration curve from the fleet-size
+// series. Each sample's fleet size holds until the next sample; the per-
+// point duration comes from the timestamps, not an assumed cadence, so
+// the curve's shape survives a change to the runner's sample timer. The
+// final sample is extended by the preceding gap (the sampler is
+// periodic); a single-sample series spans no measurable time.
 func rankHoursFromServers(ts *metrics.TimeSeries) []float64 {
+	pts := ts.Points()
 	var rank []float64
-	for _, p := range ts.Points() {
+	for i, p := range pts {
+		var dt time.Duration
+		switch {
+		case i+1 < len(pts):
+			dt = pts[i+1].At - p.At
+		case i > 0:
+			dt = p.At - pts[i-1].At
+		default:
+			return nil
+		}
 		n := int(p.Value)
 		for len(rank) < n {
 			rank = append(rank, 0)
 		}
 		for k := 0; k < n; k++ {
-			rank[k] += 1.0 / 60
+			rank[k] += dt.Hours()
 		}
 	}
 	return rank

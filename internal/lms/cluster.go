@@ -11,6 +11,7 @@ type Cluster struct {
 	name    string
 	servers []*AppServer
 
+	arrivals uint64
 	served   uint64
 	rejected uint64
 }
@@ -85,6 +86,14 @@ func (c *Cluster) Load() float64 {
 	return float64(active) / float64(accepting)
 }
 
+// Arrivals returns the cluster-wide submission count: every Submit call,
+// accepted or rejected, increments it exactly once. Unlike the derived
+// sum Served()+Rejected()+Active(), it is monotone by construction —
+// gracefully draining servers leave Active() while their jobs are still
+// unfinished, and killed jobs never reach Served() — which is the
+// contract scale.ArrivalMeter consumers difference against.
+func (c *Cluster) Arrivals() uint64 { return c.arrivals }
+
 // Served returns the cluster-wide completed-job count.
 func (c *Cluster) Served() uint64 { return c.served }
 
@@ -96,6 +105,7 @@ func (c *Cluster) Rejected() uint64 { return c.rejected }
 // jobs (ties to the earliest-added server). It returns false if no server
 // can take the job — the client sees an overload error.
 func (c *Cluster) Submit(service float64, done func()) bool {
+	c.arrivals++
 	var best *AppServer
 	for _, s := range c.servers {
 		if !s.Accepting() {

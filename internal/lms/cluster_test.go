@@ -150,6 +150,32 @@ func TestSubmitTimedReportsSojourn(t *testing.T) {
 	}
 }
 
+// TestClusterArrivalsMonotoneAcrossDrain pins the ArrivalMeter contract:
+// Arrivals counts every Submit exactly once, and stays correct where the
+// derived Served()+Rejected()+Active() sum dips — a server removed from
+// the cluster while draining takes its in-flight jobs out of Active()
+// before they reach Served().
+func TestClusterArrivalsMonotoneAcrossDrain(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c, servers := bootCluster(t, eng, 2, 1)
+	for i := 0; i < 3; i++ {
+		c.Submit(10, nil) // 2 accepted (capacity 1 each), 1 rejected
+	}
+	if c.Arrivals() != 3 {
+		t.Fatalf("Arrivals = %d, want 3 (accepted and rejected both count)", c.Arrivals())
+	}
+	// Graceful drain: the server leaves the cluster with a job in flight.
+	c.Remove(servers[0])
+	derived := c.Served() + c.Rejected() + uint64(c.Active())
+	if derived >= c.Arrivals() {
+		t.Fatalf("derived sum = %d did not dip below Arrivals = %d; the drain regression this test pins is gone",
+			derived, c.Arrivals())
+	}
+	if c.Arrivals() != 3 {
+		t.Fatalf("Arrivals = %d after drain, want 3 (monotone)", c.Arrivals())
+	}
+}
+
 func TestClusterAddNilPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -95,13 +95,16 @@ func (f FitReport) String() string {
 }
 
 // ArrivalMeter is an optional Target refinement: a cumulative count of
-// request arrivals at the fleet (served + rejected + in flight). When
-// the target provides it, GrowthFit differences the counter into its
-// rate observations — a signal that stays honest under saturation,
-// where Little's law on the in-flight count divides queue depth by
-// service time and overestimates the offered rate by the queue length.
+// request submissions at the fleet, accepted or rejected, counted once
+// at submission time. When the target provides it, GrowthFit differences
+// the counter into its rate observations — a signal that stays honest
+// under saturation, where Little's law on the in-flight count divides
+// queue depth by service time and overestimates the offered rate by the
+// queue length. The count must be monotone: implementations should keep
+// a dedicated counter rather than derive it from served/rejected/active
+// sums, which dip while retired servers drain their in-flight jobs.
 type ArrivalMeter interface {
-	// Arrivals returns the cumulative arrival count (monotone).
+	// Arrivals returns the cumulative submission count (monotone).
 	Arrivals() uint64
 }
 
@@ -361,7 +364,14 @@ func (g *GrowthFit) tick(eng *sim.Engine) {
 	var rate float64
 	if m, ok := g.target.(ArrivalMeter); ok {
 		count := m.Arrivals()
-		rate = float64(count-g.lastCount) / sim.ToSeconds(g.cfg.Interval)
+		// The meter contract is monotone, but a dip must degrade to a
+		// zero-rate sample, not wrap the unsigned difference into a
+		// ~1.8e19 observation that poisons the whole fit window.
+		delta := int64(count - g.lastCount)
+		if delta < 0 {
+			delta = 0
+		}
+		rate = float64(delta) / sim.ToSeconds(g.cfg.Interval)
 		g.lastCount = count
 	} else {
 		demand := g.target.Load() * float64(maxInt(g.target.Desired(), 1))

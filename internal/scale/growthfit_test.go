@@ -258,6 +258,54 @@ func TestGrowthFitProvisionsAheadOfRamp(t *testing.T) {
 	}
 }
 
+// TestGrowthFitClampsMeterDip pins the defensive clamp on the metered
+// path: the ArrivalMeter contract is monotone, but if a meter ever dips
+// (the bug class: a counter derived from served+rejected+active sums
+// while servers drain), the unsigned difference must degrade to a zero
+// rate observation — not wrap to ~1.8e19 and poison the fit window.
+func TestGrowthFitClampsMeterDip(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tgt := &meteredTarget{}
+	tgt.desired = 1
+	g := NewGrowthFit(tgt, GrowthFitConfig{
+		Interval: time.Minute, MeanService: 0.1, Min: 1, Max: 1000,
+	})
+	stop := g.Start(eng)
+	defer stop()
+	// Grow the counter, then dip it mid-run (a scale-in drain), then
+	// resume growing.
+	counts := []uint64{600, 1200, 1800, 1500, 2100, 2700}
+	i := 0
+	feed := eng.Every(time.Minute, "feed", func() {
+		if i < len(counts) {
+			tgt.count = counts[i]
+			i++
+		}
+	})
+	defer feed()
+	if err := eng.Run(time.Duration(len(counts)) * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for j, r := range g.rates {
+		if r < 0 || r > 1e6 {
+			t.Fatalf("rate observation %d = %g; a meter dip wrapped the unsigned delta", j, r)
+		}
+	}
+	if min := minFloat(g.rates); min != 0 {
+		t.Fatalf("dip tick observed rate %g, want clamped 0", min)
+	}
+}
+
+func minFloat(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
 // TestOracleBootsBeforePlanRise pins the oracle's lead semantics: a
 // step in the plan at t=30m must be provisioned a full lead early, and
 // scale-in must wait until the demand has passed — the max over

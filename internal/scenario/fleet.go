@@ -49,12 +49,13 @@ func (f *fleet) Peak() int { return f.peak }
 // Load implements scale.Target.
 func (f *fleet) Load() float64 { return f.cluster.Load() }
 
-// Arrivals implements scale.ArrivalMeter: the cumulative request count
-// the cluster has seen — every arrival either completed, was rejected,
-// or is still in flight, so the sum is monotone and survives
-// saturation, which is what the growth fitter needs from it.
+// Arrivals implements scale.ArrivalMeter: the cluster's dedicated
+// submission counter. A derived Served()+Rejected()+Active() sum is NOT
+// monotone — retireOne drains servers gracefully, so Active() drops
+// before the drained jobs reach Served() — and a dip would wrap the
+// fitter's unsigned delta into an astronomical rate observation.
 func (f *fleet) Arrivals() uint64 {
-	return f.cluster.Served() + f.cluster.Rejected() + uint64(f.cluster.Active())
+	return f.cluster.Arrivals()
 }
 
 // ScaleTo implements scale.Target: grows by provisioning, shrinks by
